@@ -1,0 +1,126 @@
+package smallbandwidth
+
+import (
+	"fmt"
+	"testing"
+
+	"smallbandwidth/internal/clique"
+)
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// coin accuracy, seed-segment width, multi-bit batching, and the CONGEST
+// bandwidth cap. Each reports the model-round consequence of the knob.
+
+// BenchmarkAblationAccuracy compares the standard Lemma 2.6 coin
+// accuracy with the sharper MIS-avoidance accuracy on the same CONGEST
+// instance: more accuracy bits → longer seed → more rounds, tighter
+// potential.
+func BenchmarkAblationAccuracy(b *testing.B) {
+	inst := DeltaPlusOne(Torus2D(5, 5))
+	for _, sharp := range []bool{false, true} {
+		name := "standard"
+		if sharp {
+			name = "highAccuracy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rounds, seed int
+			for i := 0; i < b.N; i++ {
+				res, err := ColorCONGEST(inst, CONGESTOptions{HighAccuracy: sharp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, seed = res.Stats.Rounds, res.Params.D
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(seed), "seedBits")
+		})
+	}
+}
+
+// BenchmarkAblationLambda varies the clique seed-segment width λ: wider
+// segments derandomize more seed bits per O(1) rounds (fewer rounds) at
+// the price of 2^λ responsible evaluations.
+func BenchmarkAblationLambda(b *testing.B) {
+	inst := DeltaPlusOne(RandomRegular(32, 6, 3))
+	for _, lambda := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lambda=%d", lambda), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := ColorClique(inst, CliqueOptions{LambdaCap: lambda})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationBatch compares 1-bit vs forced 2-bit prefix batches
+// in the clique (Theorem 1.3's acceleration trades local computation for
+// rounds).
+func BenchmarkAblationBatch(b *testing.B) {
+	inst := DeltaPlusOne(Cycle(8))
+	for _, batch := range []int{1, 2} {
+		b.Run(fmt.Sprintf("bits=%d", batch), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := clique.ListColorClique(inst, clique.Options{ForceBatch: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationBandwidth varies the CONGEST word cap: a wider cap
+// shortens chunked tree aggregations (barely, at our vector sizes) while
+// the model still counts every word.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	inst := DeltaPlusOne(Grid2D(4, 5))
+	for _, words := range []int{4, 8} {
+		b.Run(fmt.Sprintf("maxWords=%d", words), func(b *testing.B) {
+			var rounds int
+			var maxSeen int
+			for i := 0; i < b.N; i++ {
+				res, err := ColorCONGEST(inst, CONGESTOptions{MaxWords: words})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, maxSeen = res.Stats.Rounds, res.Stats.MaxMessageWords
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(maxSeen), "maxMsgWords")
+		})
+	}
+}
+
+// BenchmarkAblationDecomposedCrossover reports the direct-vs-decomposed
+// round ratio on growing cycles — the crossover the paper's Corollary
+// 1.2 exists for.
+func BenchmarkAblationDecomposedCrossover(b *testing.B) {
+	for _, n := range []int{64, 192} {
+		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
+			inst := DeltaPlusOne(Cycle(n))
+			var direct, decomposed int
+			for i := 0; i < b.N; i++ {
+				d, err := ColorCONGEST(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dd, err := ColorDecomposed(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				direct, decomposed = d.Stats.Rounds, dd.ChargedRounds
+			}
+			b.ReportMetric(float64(direct), "directRounds")
+			b.ReportMetric(float64(decomposed), "decomposedRounds")
+			b.ReportMetric(float64(decomposed)/float64(direct), "ratio")
+		})
+	}
+}

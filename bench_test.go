@@ -1,0 +1,288 @@
+// Benchmarks regenerating the paper's quantitative claims, one per
+// experiment of DESIGN.md §4 (the paper is theory-only, so each
+// theorem/lemma is an "experiment"; cmd/benchtables prints the full
+// tables). Reported custom metrics carry the model quantities the paper
+// bounds — rounds, colored fractions, seed bits, memory high-water —
+// while ns/op measures simulator wall time.
+package smallbandwidth
+
+import (
+	"fmt"
+	"testing"
+
+	"smallbandwidth/internal/baseline"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/mpc"
+	"smallbandwidth/internal/netdecomp"
+	"smallbandwidth/internal/prng"
+)
+
+// BenchmarkE1TheoremOneOne measures Theorem 1.1 rounds across a size
+// sweep on cycles (D = n/2) and 4-regular graphs (D = O(log n)).
+func BenchmarkE1TheoremOneOne(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, kind := range []string{"cycle", "regular4"} {
+			g := Cycle(n)
+			if kind == "regular4" {
+				g = RandomRegular(n, 4, 1)
+			}
+			inst := DeltaPlusOne(g)
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := ColorCONGEST(inst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Stats.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(g.Diameter()), "diameter")
+			})
+		}
+	}
+}
+
+// BenchmarkE2PartialFraction measures the worst per-iteration colored
+// fraction (Lemma 2.1 guarantees ≥ 1/8).
+func BenchmarkE2PartialFraction(b *testing.B) {
+	g := RandomRegular(48, 4, 2)
+	inst := DeltaPlusOne(g)
+	var minFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := ColorCONGEST(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minFrac = 1
+		for it := 0; it < res.Iterations; it++ {
+			if f := float64(res.Colored[it]) / float64(res.AliveAt[it]); f < minFrac {
+				minFrac = f
+			}
+		}
+	}
+	b.ReportMetric(minFrac, "minColoredFrac")
+	b.ReportMetric(0.125, "guarantee")
+}
+
+// BenchmarkE3Potential measures the worst per-phase potential growth
+// against the n/⌈logC⌉ budget of Lemma 2.6.
+func BenchmarkE3Potential(b *testing.B) {
+	g := Torus2D(6, 6)
+	inst := DeltaPlusOne(g)
+	var worstRatio float64
+	for i := 0; i < b.N; i++ {
+		res, err := ColorCONGEST(inst, CONGESTOptions{TrackPotentials: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstRatio = 0
+		for it := 0; it < res.Iterations; it++ {
+			budget := float64(res.AliveAt[it]) / float64(res.Params.LogC)
+			prev := res.PotentialStart[it]
+			for l := 0; l < res.Params.LogC; l++ {
+				if r := (res.PotentialPhase[it][l] - prev) / budget; r > worstRatio {
+					worstRatio = r
+				}
+				prev = res.PotentialPhase[it][l]
+			}
+		}
+	}
+	b.ReportMetric(worstRatio, "growth/budget")
+}
+
+// BenchmarkE4SeedLength reports the seed length over an n sweep at fixed
+// degree (the paper: independent of n up to K = O(Δ²)).
+func BenchmarkE4SeedLength(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := DeltaPlusOne(Cycle(n))
+			var d int
+			for i := 0; i < b.N; i++ {
+				p, err := core.ComputeParams(inst, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d = p.D
+			}
+			b.ReportMetric(float64(d), "seedBits")
+		})
+	}
+}
+
+// BenchmarkE5Decomposition measures the Corollary 1.2 pipeline on
+// high-diameter cycles and reports decomposition quality.
+func BenchmarkE5Decomposition(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
+			inst := DeltaPlusOne(Cycle(n))
+			var res *netdecomp.DecompResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = ColorDecomposed(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ChargedRounds), "chargedRounds")
+			b.ReportMetric(float64(res.Decomp.Colors), "alpha")
+			b.ReportMetric(float64(res.Decomp.Beta), "beta")
+			b.ReportMetric(float64(res.Decomp.Congestion), "kappa")
+		})
+	}
+}
+
+// BenchmarkE6Clique measures Theorem 1.3 rounds.
+func BenchmarkE6Clique(b *testing.B) {
+	for _, cfg := range []struct{ n, d int }{{24, 6}, {48, 8}} {
+		b.Run(fmt.Sprintf("n=%d/d=%d", cfg.n, cfg.d), func(b *testing.B) {
+			inst := DeltaPlusOne(RandomRegular(cfg.n, cfg.d, 3))
+			var rounds, batch int
+			for i := 0; i < b.N; i++ {
+				res, err := ColorClique(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, batch = res.Stats.Rounds, res.MaxBatch
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(batch), "maxBatch")
+		})
+	}
+}
+
+// BenchmarkE7MPCLinear measures Theorem 1.4.
+func BenchmarkE7MPCLinear(b *testing.B) {
+	benchMPC(b, false)
+}
+
+// BenchmarkE8MPCSublinear measures Theorem 1.5.
+func BenchmarkE8MPCSublinear(b *testing.B) {
+	benchMPC(b, true)
+}
+
+func benchMPC(b *testing.B, sublinear bool) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := DeltaPlusOne(RandomRegular(n, 4, 5))
+			var res *MPCResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = ColorMPC(inst, MPCOptions{Sublinear: sublinear})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(res.HighWaterMemory), "memHW")
+			b.ReportMetric(float64(res.S), "S")
+		})
+	}
+}
+
+// BenchmarkE9Bandwidth audits message width across a Theorem 1.1 run.
+func BenchmarkE9Bandwidth(b *testing.B) {
+	inst := DeltaPlusOne(Grid2D(6, 6))
+	var maxWords int
+	var messages int64
+	for i := 0; i < b.N; i++ {
+		res, err := ColorCONGEST(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxWords, messages = res.Stats.MaxMessageWords, res.Stats.Messages
+	}
+	b.ReportMetric(float64(maxWords), "maxMsgWords")
+	b.ReportMetric(float64(messages), "messages")
+}
+
+// BenchmarkE10Baseline compares Theorem 1.1 with the randomized [Joh99]
+// baseline on the same instance.
+func BenchmarkE10Baseline(b *testing.B) {
+	inst := DeltaPlusOne(RandomRegular(48, 4, 8))
+	b.Run("deterministic", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := ColorCONGEST(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("randomized", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.RandomizedCONGEST(inst, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// BenchmarkE11MPCTools measures the Section 5 tools' round counts.
+func BenchmarkE11MPCTools(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var sortRounds int
+			for i := 0; i < b.N; i++ {
+				s := 40 * isqrtBench(n)
+				rt, err := mpc.NewRuntime(6*n/s+2, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recs := make([]mpc.Rec, n)
+				for j := range recs {
+					recs[j] = mpc.Rec{uint64(j * 7919 % 997), uint64(j), 1}
+				}
+				d, err := mpc.NewDist(rt, recs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Sort(rt); err != nil {
+					b.Fatal(err)
+				}
+				sortRounds = rt.Rounds
+			}
+			b.ReportMetric(float64(sortRounds), "sortRounds")
+		})
+	}
+}
+
+// BenchmarkE12ZeroRound Monte-Carlos the zero-round uniform process of
+// Lemma 2.2 and reports mean potential change.
+func BenchmarkE12ZeroRound(b *testing.B) {
+	inst := DeltaPlusOne(RandomRegular(32, 4, 6))
+	base, err := core.NewPrefixState(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	before := base.Potential()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		const trials = 50
+		for t := 0; t < trials; t++ {
+			st, _ := core.NewPrefixState(inst)
+			if err := st.StepUniform(prng.New(uint64(t))); err != nil {
+				b.Fatal(err)
+			}
+			sum += st.Potential()
+		}
+		mean = sum / trials
+	}
+	b.ReportMetric(before, "phi0")
+	b.ReportMetric(mean, "meanPhi1")
+}
+
+func isqrtBench(x int) int {
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,151 @@
+// colorcli generates a graph, runs one of the paper's coloring
+// algorithms on it, verifies the result, and prints the measured cost.
+//
+// Examples:
+//
+//	colorcli -graph cycle -n 64 -model congest
+//	colorcli -graph regular -n 128 -d 4 -model clique
+//	colorcli -graph grid -n 64 -model mpc -sublinear
+//	colorcli -graph barbell -n 64 -model decomposed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	sb "smallbandwidth"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "cycle", "cycle|path|grid|torus|star|clique|regular|gnp|barbell|caveman|hypercube")
+		n         = flag.Int("n", 64, "number of nodes (interpreted per generator)")
+		d         = flag.Int("d", 4, "degree for -graph regular")
+		p         = flag.Float64("p", 0.1, "edge probability for -graph gnp")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		model     = flag.String("model", "congest", "congest|decomposed|clique|mpc|randomized|greedy")
+		sublinear = flag.Bool("sublinear", false, "use sublinear memory in -model mpc")
+		lists     = flag.String("lists", "deltaplus1", "deltaplus1|random")
+		colors    = flag.Uint("colors", 0, "color-space size for -lists random (0 = 4·Δ)")
+	)
+	flag.Parse()
+
+	g := buildGraph(*graphKind, *n, *d, *p, *seed)
+	var inst *sb.Instance
+	switch *lists {
+	case "deltaplus1":
+		inst = sb.DeltaPlusOne(g)
+	case "random":
+		c := uint32(*colors)
+		if c == 0 {
+			c = uint32(4*g.MaxDegree() + 4)
+		}
+		var err error
+		inst, err = sb.RandomLists(g, c, 1, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -lists %q", *lists)
+	}
+
+	fmt.Printf("graph=%s n=%d m=%d Δ=%d D=%d colorspace=%d\n",
+		*graphKind, g.N(), g.M(), g.MaxDegree(), g.Diameter(), inst.C)
+
+	switch *model {
+	case "congest":
+		res, err := sb.ColorCONGEST(inst)
+		fail(err)
+		fmt.Printf("CONGEST (Thm 1.1): rounds=%d messages=%d maxMsgWords=%d iterations=%d\n",
+			res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxMessageWords, res.Iterations)
+	case "decomposed":
+		res, err := sb.ColorDecomposed(inst)
+		fail(err)
+		dc := res.Decomp
+		fmt.Printf("Corollary 1.2: chargedRounds=%d α=%d β=%d κ=%d clusters=%d\n",
+			res.ChargedRounds, dc.Colors, dc.Beta, dc.Congestion, len(dc.Clusters))
+	case "clique":
+		res, err := sb.ColorClique(inst)
+		fail(err)
+		fmt.Printf("CLIQUE (Thm 1.3): rounds=%d iterations=%d maxBatch=%d localFinishAt=%d\n",
+			res.Stats.Rounds, res.Iterations, res.MaxBatch, res.LocalFinishUncolored)
+	case "mpc":
+		res, err := sb.ColorMPC(inst, sb.MPCOptions{Sublinear: *sublinear})
+		fail(err)
+		regime := "linear (Thm 1.4)"
+		if *sublinear {
+			regime = "sublinear (Thm 1.5)"
+		}
+		fmt.Printf("MPC %s: rounds=%d machines=%d S=%d memHW=%d ioHW=%d\n",
+			regime, res.Rounds, res.Machines, res.S, res.HighWaterMemory, res.HighWaterIO)
+	case "randomized":
+		res, err := sb.ColorRandomizedBaseline(inst, *seed)
+		fail(err)
+		fmt.Printf("randomized [Joh99]: rounds=%d messages=%d\n", res.Rounds, res.Stats.Messages)
+	case "greedy":
+		colors := sb.Greedy(inst)
+		fail(inst.VerifyColoring(colors))
+		fmt.Println("sequential greedy: ok")
+	default:
+		log.Fatalf("unknown -model %q", *model)
+	}
+	fmt.Println("coloring verified ✓")
+}
+
+func buildGraph(kind string, n, d int, p float64, seed uint64) *sb.Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	switch kind {
+	case "cycle":
+		return sb.Cycle(n)
+	case "path":
+		return sb.Path(n)
+	case "grid":
+		return sb.Grid2D(side, (n+side-1)/side)
+	case "torus":
+		if side < 3 {
+			side = 3
+		}
+		return sb.Torus2D(side, side)
+	case "star":
+		return sb.Star(n)
+	case "clique":
+		return sb.Complete(n)
+	case "regular":
+		return sb.RandomRegular(n, d, seed)
+	case "gnp":
+		return sb.GNP(n, p, seed)
+	case "barbell":
+		return sb.Barbell(n/4, n/2)
+	case "caveman":
+		return sb.Caveman(max(n/6, 2), 6)
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		return sb.Hypercube(dim)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+// Frequency assignment: base stations on a torus grid must each pick a
+// radio channel different from all interference neighbors, and each
+// station is only licensed for a subset of the spectrum — exactly a
+// (degree+1)-list-coloring instance. The deterministic CONGEST algorithm
+// assigns channels using only the stations' own radio links (O(log n)
+// bits per message), with no randomness to go wrong at commissioning
+// time, and we compare its round cost with the randomized baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sb "smallbandwidth"
+)
+
+func main() {
+	// Base stations scattered in the plane; two stations interfere when
+	// within radio range (a random geometric graph). 48 licensed
+	// channels, each station allowed a random subset of deg+1+2 of them.
+	g := sb.RandomGeometric(64, 0.18, 2024)
+	inst, err := sb.RandomLists(g, 48, 2, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det, err := sb.ColorCONGEST(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rand, err := sb.ColorRandomizedBaseline(inst, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stations: %d, interference links: %d, channels: %d\n",
+		g.N(), g.M(), inst.C)
+	fmt.Printf("deterministic (Thm 1.1): %6d rounds, widest message %d words\n",
+		det.Stats.Rounds, det.Stats.MaxMessageWords)
+	fmt.Printf("randomized   [Joh99]   : %6d rounds (needs a random source per station)\n",
+		rand.Stats.Rounds)
+	fmt.Printf("determinism overhead: ×%.1f rounds — the price of a reproducible rollout\n",
+		float64(det.Stats.Rounds)/float64(rand.Stats.Rounds))
+
+	// Show a few assignments.
+	for v := 0; v < 5; v++ {
+		fmt.Printf("  station %d → channel %d (allowed: %v)\n",
+			v, det.Colors[v], inst.Lists[v])
+	}
+}

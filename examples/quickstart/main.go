@@ -1,0 +1,36 @@
+// Quickstart: color a random 4-regular graph with Δ+1 = 5 colors using
+// the deterministic CONGEST algorithm (Theorem 1.1) and print what it
+// cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sb "smallbandwidth"
+)
+
+func main() {
+	g := sb.RandomRegular(64, 4, 1)
+	inst := sb.DeltaPlusOne(g)
+
+	res, err := sb.ColorCONGEST(inst, sb.CONGESTOptions{TrackPotentials: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: n=%d m=%d Δ=%d D=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	fmt.Printf("colored all nodes with %d colors in %d CONGEST rounds\n",
+		inst.C, res.Stats.Rounds)
+	fmt.Printf("messages: %d (widest %d words — the small-bandwidth guarantee)\n",
+		res.Stats.Messages, res.Stats.MaxMessageWords)
+	fmt.Printf("iterations of Lemma 2.1: %d\n", res.Iterations)
+	for i := 0; i < res.Iterations; i++ {
+		fmt.Printf("  iteration %d: colored %d of %d uncolored (≥ 1/8 guaranteed)\n",
+			i+1, res.Colored[i], res.AliveAt[i])
+	}
+	if err := inst.VerifyColoring(res.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("coloring verified proper and list-respecting ✓")
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"testing"
+
+	"smallbandwidth/internal/graph"
+)
+
+func TestRandomizedCONGESTColorsEverything(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(16), graph.Grid2D(4, 5), graph.Star(12),
+		graph.MustRandomRegular(40, 4, 2), graph.Complete(8), graph.Path(1),
+	}
+	for gi, g := range graphs {
+		inst := graph.DeltaPlusOneInstance(g)
+		for seed := uint64(0); seed < 3; seed++ {
+			res, err := RandomizedCONGEST(inst, seed)
+			if err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+			if err := inst.VerifyColoring(res.Colors); err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+		}
+	}
+}
+
+func TestRandomizedReproducible(t *testing.T) {
+	g := graph.GNP(30, 0.2, 5)
+	inst := graph.DeltaPlusOneInstance(g)
+	a, err := RandomizedCONGEST(inst, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomizedCONGEST(inst, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("randomized baseline not reproducible for fixed seed")
+		}
+	}
+}
+
+func TestRandomizedFastOnLists(t *testing.T) {
+	g := graph.MustRandomRegular(48, 4, 9)
+	inst, err := graph.RandomListInstance(g, 32, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RandomizedCONGEST(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(log n) w.h.p.; generous cap.
+	if res.Rounds > 200 {
+		t.Errorf("randomized used %d rounds, suspiciously many", res.Rounds)
+	}
+}
+
+func TestRandomSeedPrefixConverges(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	inst := graph.DeltaPlusOneInstance(g)
+	iters, err := RandomSeedPrefix(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 || iters > 100 {
+		t.Errorf("random-seed process took %d iterations", iters)
+	}
+}

@@ -1,0 +1,729 @@
+package clique
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"smallbandwidth/internal/gf2"
+	"smallbandwidth/internal/graph"
+)
+
+// Options configures the Theorem 1.3 algorithm.
+type Options struct {
+	// MaxWords is the per-message bandwidth cap (0 = default 4).
+	MaxWords int
+	// BatchCap caps how many prefix bits are fixed per derandomization
+	// batch once few nodes remain (0 = default 2). The paper's
+	// acceleration fixes i bits when ≤ n/2^i nodes are uncolored.
+	BatchCap int
+	// LambdaCap caps the seed-segment width λ ≤ ⌊log₂ n⌋ (0 = default 16).
+	LambdaCap int
+	// ForceBatch, if > 0, fixes that many prefix bits per batch from the
+	// first iteration regardless of the uncolored count — an ablation
+	// knob for exercising the multi-bit machinery (the adaptive rule only
+	// engages when the uncolored count lands in (n/Δ, n/4]).
+	ForceBatch int
+}
+
+// Result reports the coloring and measured cost.
+type Result struct {
+	Colors []uint32
+	Stats  Stats
+	// Iterations is the number of partial-coloring iterations before the
+	// residual subgraph was shipped to the leader.
+	Iterations int
+	// MaxBatch is the largest number of prefix bits fixed at once.
+	MaxBatch int
+	// LocalFinishUncolored is the number of uncolored nodes at the moment
+	// the residual instance was solved locally at the leader (0 if the
+	// iterations colored everything).
+	LocalFinishUncolored int
+}
+
+type clqNode struct {
+	id       int
+	alive    bool
+	colored  bool
+	color    uint32
+	list     []uint32
+	cands    []uint32
+	nbrs     []int32
+	aliveNbr map[int]bool
+	conflict map[int]bool
+	nbrK     map[int][]uint64 // conflict neighbor -> leaf counts for current batch
+	phi      int
+}
+
+// ListColorClique solves the (degree+1)-list-coloring instance in the
+// congested clique (Theorem 1.3): node IDs serve as the input coloring
+// (seed length O(log n)); Ω(log n) seed bits are fixed per O(1) rounds by
+// splitting the seed into segments whose 2^λ candidate assignments are
+// evaluated by 2^λ responsible nodes in parallel; once ≤ n/2^i nodes
+// remain uncolored, i prefix bits are fixed per batch; and once the
+// uncolored subgraph has ≤ n edges it is routed to a leader (Lenzen) and
+// solved locally.
+func ListColorClique(inst *graph.Instance, opts Options) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.G.N()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if opts.BatchCap == 0 {
+		opts.BatchCap = 2
+	}
+	if opts.LambdaCap == 0 {
+		opts.LambdaCap = 16
+	}
+	sim := NewSim(n, opts.MaxWords)
+	delta := inst.G.MaxDegree()
+	logC := bits.Len32(inst.C - 1)
+	effLogC := max(logC, 1)
+	// MIS-free accuracy (Section 4, "How to Avoid MIS"):
+	// ε ≤ 1/(10·(Δ+1)²·⌈logC⌉).
+	b := bits.Len64(10 * uint64(delta+1) * uint64(delta+1) * uint64(effLogC))
+	a := max(bits.Len64(uint64(n-1)), 1)
+
+	nodes := make([]*clqNode, n)
+	for v := 0; v < n; v++ {
+		nd := &clqNode{
+			id:       v,
+			alive:    true,
+			list:     append([]uint32(nil), inst.Lists[v]...),
+			nbrs:     inst.G.Neighbors(v),
+			aliveNbr: map[int]bool{},
+		}
+		for _, w := range nd.nbrs {
+			nd.aliveNbr[int(w)] = true
+		}
+		nodes[v] = nd
+	}
+
+	st := &cliqueRun{
+		sim: sim, nodes: nodes, n: n, logC: logC, b: b, a: a,
+		delta: delta, opts: opts, c: inst.C,
+	}
+	res := &Result{}
+	for {
+		u, deltaCur, err := st.statusRounds()
+		if err != nil {
+			return nil, err
+		}
+		if u == 0 {
+			break
+		}
+		if u*max(deltaCur, 1) <= n {
+			res.LocalFinishUncolored = u
+			if err := st.localFinish(inst); err != nil {
+				return nil, err
+			}
+			break
+		}
+		// Acceleration: with u ≤ n/2^i uncolored nodes, fix i bits at once.
+		w := 1
+		for w < opts.BatchCap && u*(1<<(w+1)) <= n && (w+1)*b <= 63 {
+			w++
+		}
+		if opts.ForceBatch > 0 {
+			w = opts.ForceBatch
+			for w > 1 && w*b > 63 {
+				w--
+			}
+		}
+		if w > res.MaxBatch {
+			res.MaxBatch = w
+		}
+		if err := st.iteration(w, deltaCur); err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		if res.Iterations > 16*bits.Len(uint(n))+64 {
+			return nil, fmt.Errorf("clique: iteration budget exceeded (progress guarantee violated)")
+		}
+	}
+	colors := make([]uint32, n)
+	for v, nd := range nodes {
+		if !nd.colored {
+			return nil, fmt.Errorf("clique: node %d left uncolored", v)
+		}
+		colors[v] = nd.color
+	}
+	if err := inst.VerifyColoring(colors); err != nil {
+		return nil, fmt.Errorf("clique: coloring invalid: %w", err)
+	}
+	res.Colors = colors
+	res.Stats = sim.Stats
+	return res, nil
+}
+
+type cliqueRun struct {
+	sim   *Sim
+	nodes []*clqNode
+	n     int
+	logC  int
+	b, a  int
+	delta int
+	c     uint32
+	opts  Options
+}
+
+// statusRounds aggregates (uncolored count, max uncolored degree) at the
+// leader and broadcasts them: 2 rounds.
+func (st *cliqueRun) statusRounds() (int, int, error) {
+	out := emptyOut(st.n)
+	for v, nd := range st.nodes {
+		if v == 0 {
+			continue
+		}
+		deg := 0
+		if nd.alive {
+			deg = len(nd.aliveNbr)
+		}
+		out[v][0] = Message{boolW(nd.alive), uint64(deg)}
+	}
+	in, err := st.sim.Exchange(out)
+	if err != nil {
+		return 0, 0, err
+	}
+	u, dmax := 0, 0
+	if st.nodes[0].alive {
+		u, dmax = 1, len(st.nodes[0].aliveNbr)
+	}
+	for _, msg := range in[0] {
+		if msg[0] == 1 {
+			u++
+			dmax = max(dmax, int(msg[1]))
+		}
+	}
+	out = emptyOut(st.n)
+	for v := 1; v < st.n; v++ {
+		out[0][v] = Message{uint64(u), uint64(dmax)}
+	}
+	if _, err := st.sim.Exchange(out); err != nil {
+		return 0, 0, err
+	}
+	return u, dmax, nil
+}
+
+// iteration runs one partial-coloring pass fixing w bits per batch, then
+// the MIS-free keep step, then the announcement round.
+func (st *cliqueRun) iteration(w, deltaCur int) error {
+	// Trim candidate lists to exactly (uncolored degree + 1) colors so
+	// that ΣΦ₀ ≤ U − U/(Δ+1) (Equation (9) needs |L| ≤ Δ+1).
+	for _, nd := range st.nodes {
+		nd.conflict = map[int]bool{}
+		if !nd.alive {
+			nd.cands = nil
+			continue
+		}
+		keep := min(len(nd.aliveNbr)+1, len(nd.list))
+		nd.cands = append(nd.cands[:0], nd.list[:keep]...)
+		for u := range nd.aliveNbr {
+			nd.conflict[u] = true
+		}
+	}
+	for fixed := 0; fixed < st.logC; {
+		ww := min(w, st.logC-fixed)
+		if err := st.runBatch(ww, fixed); err != nil {
+			return err
+		}
+		fixed += ww
+	}
+
+	// MIS-free keep step: nodes with ≤ 1 conflict exchange membership;
+	// the larger ID (or the unique V₁ member) keeps its candidate.
+	out := emptyOut(st.n)
+	for v, nd := range st.nodes {
+		nd.phi = len(nd.conflict)
+		if nd.alive && nd.phi <= 1 {
+			for u := range nd.conflict {
+				out[v][u] = Message{1}
+			}
+		}
+	}
+	in, err := st.sim.Exchange(out)
+	if err != nil {
+		return err
+	}
+	for v, nd := range st.nodes {
+		if !nd.alive {
+			continue
+		}
+		switch {
+		case nd.phi == 0:
+			nd.keepColor()
+		case nd.phi == 1:
+			partner := -1
+			for u := range nd.conflict {
+				partner = u
+			}
+			_, partnerInV1 := in[v][partner]
+			if !partnerInV1 || v > partner {
+				nd.keepColor()
+			}
+		}
+	}
+
+	// Announcement: colored nodes tell all still-uncolored G-neighbors.
+	out = emptyOut(st.n)
+	for v, nd := range st.nodes {
+		if nd.colored && nd.alive {
+			// keepColor marks colored; alive flips below after announcing.
+			for u := range nd.aliveNbr {
+				out[v][u] = Message{uint64(nd.color)}
+			}
+		}
+	}
+	in, err = st.sim.Exchange(out)
+	if err != nil {
+		return err
+	}
+	for v, nd := range st.nodes {
+		if nd.colored {
+			nd.alive = false
+		}
+		for u, msg := range in[v] {
+			delete(nd.aliveNbr, u)
+			if !nd.colored {
+				nd.list = removeColor(nd.list, uint32(msg[0]))
+			}
+		}
+		_ = v
+	}
+	return nil
+}
+
+func (nd *clqNode) keepColor() {
+	nd.color = nd.cands[0]
+	nd.colored = true
+}
+
+// runBatch fixes the w prefix bits at positions
+// [logC−fixed−w, logC−fixed) for every alive node, derandomizing the
+// shared seed segment by segment with 2^λ responsible nodes per segment.
+func (st *cliqueRun) runBatch(w, fixed int) error {
+	m := max(st.a, w*st.b)
+	if m > 63 {
+		return fmt.Errorf("clique: hash degree %d exceeds 63", m)
+	}
+	fam, err := gf2.NewFamily(m, 2)
+	if err != nil {
+		return err
+	}
+	d := fam.SeedBits()
+	hi := st.logC - fixed - 1 // most significant bit of this batch
+	paths := 1 << w
+
+	// Leaf counts K(p) and their exchange with conflict neighbors.
+	for _, nd := range st.nodes {
+		nd.nbrK = map[int][]uint64{}
+		if !nd.alive {
+			continue
+		}
+		nd.nbrK[nd.id] = leafCounts(nd.cands, hi, w)
+	}
+	chunk := st.sim.maxWords - 1
+	for off := 0; off < paths; off += chunk {
+		end := min(off+chunk, paths)
+		out := emptyOut(st.n)
+		for v, nd := range st.nodes {
+			if !nd.alive {
+				continue
+			}
+			for u := range nd.conflict {
+				msg := make(Message, 0, 1+end-off)
+				msg = append(msg, uint64(off))
+				msg = append(msg, nd.nbrK[nd.id][off:end]...)
+				out[v][u] = msg
+			}
+		}
+		in, err := st.sim.Exchange(out)
+		if err != nil {
+			return err
+		}
+		for v, nd := range st.nodes {
+			for u, msg := range in[v] {
+				if !nd.conflict[u] {
+					continue
+				}
+				if nd.nbrK[u] == nil {
+					nd.nbrK[u] = make([]uint64, paths)
+				}
+				copy(nd.nbrK[u][msg[0]:], msg[1:])
+			}
+		}
+	}
+
+	// Derandomize the seed segment by segment.
+	lambda := max(1, min(min(bits.Len(uint(st.n))-1, d), st.opts.LambdaCap))
+	basis := gf2.NewBasis()
+	var seed gf2.Vec128
+	for segStart := 0; segStart < d; segStart += lambda {
+		segW := min(lambda, d-segStart)
+		nAssign := 1 << segW
+
+		// Every node evaluates its owned conflict edges for every
+		// candidate assignment and sends each value to its responsible
+		// node (1 round).
+		out := emptyOut(st.n)
+		own := make([]float64, nAssign)
+		sums := make([][]float64, st.n)
+		for v, nd := range st.nodes {
+			vals := make([]float64, nAssign)
+			if nd.alive {
+				for r := 0; r < nAssign; r++ {
+					bs := basis.Clone()
+					for t := 0; t < segW; t++ {
+						bs.FixBit(segStart+t, r>>uint(t)&1 == 1)
+					}
+					for u := range nd.conflict {
+						if u < v {
+							continue // owner is the smaller endpoint
+						}
+						vals[r] += st.edgeExp(bs, fam, nd, u, w)
+					}
+				}
+			}
+			for r := 0; r < nAssign; r++ {
+				if r == v {
+					own[r] += vals[r]
+					continue
+				}
+				out[v][r] = Message{uint64(r), math.Float64bits(vals[r])}
+			}
+		}
+		in, err := st.sim.Exchange(out)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < nAssign && r < st.n; r++ {
+			sums[r] = []float64{own[r]}
+			for src := 0; src < st.n; src++ {
+				if msg, ok := in[r][src]; ok {
+					sums[r][0] += math.Float64frombits(msg[1])
+				}
+			}
+		}
+		// Responsible nodes forward to the leader (1 round).
+		out = emptyOut(st.n)
+		for r := 1; r < nAssign; r++ {
+			out[r][0] = Message{uint64(r), math.Float64bits(sums[r][0])}
+		}
+		in, err = st.sim.Exchange(out)
+		if err != nil {
+			return err
+		}
+		best, bestVal := 0, sums[0][0]
+		for r := 1; r < nAssign; r++ {
+			msg, ok := in[0][r]
+			if !ok {
+				return fmt.Errorf("clique: responsible node %d did not report", r)
+			}
+			if v := math.Float64frombits(msg[1]); v < bestVal {
+				best, bestVal = int(msg[0]), v
+			}
+		}
+		// Broadcast the chosen assignment (1 round).
+		out = emptyOut(st.n)
+		for v := 1; v < st.n; v++ {
+			out[0][v] = Message{uint64(best)}
+		}
+		if _, err := st.sim.Exchange(out); err != nil {
+			return err
+		}
+		for t := 0; t < segW; t++ {
+			val := best>>uint(t)&1 == 1
+			basis.FixBit(segStart+t, val)
+			seed = seed.WithBit(segStart+t, val)
+		}
+	}
+
+	// Every alive node runs its w sequential coins under the fixed seed,
+	// extends its prefix, and exchanges the chosen path (1 round).
+	chosen := make([]uint64, st.n)
+	out := emptyOut(st.n)
+	for v, nd := range st.nodes {
+		if !nd.alive {
+			continue
+		}
+		path := uint64(0)
+		counts := nd.nbrK[nd.id]
+		for t := 0; t < w; t++ {
+			den := subtreeCount(counts, w, int(path), t)
+			num := subtreeCount(counts, w, int(path<<1|1), t+1)
+			coin, err := gf2.NewCoinFromForms(
+				fam.WindowForms(uint64(nd.id), m-(t+1)*st.b, st.b), num, den)
+			if err != nil {
+				return fmt.Errorf("clique: node %d sequential coin: %w", v, err)
+			}
+			path <<= 1
+			if coin.Value(seed) {
+				path |= 1
+			}
+		}
+		chosen[v] = path
+		nd.cands = filterByPath(nd.cands, hi, w, path)
+		if len(nd.cands) == 0 {
+			return fmt.Errorf("clique: node %d candidate set emptied", v)
+		}
+		for u := range nd.conflict {
+			out[v][u] = Message{path}
+		}
+	}
+	in, err := st.sim.Exchange(out)
+	if err != nil {
+		return err
+	}
+	for v, nd := range st.nodes {
+		if !nd.alive {
+			continue
+		}
+		for u := range nd.conflict {
+			if msg, ok := in[v][u]; !ok || msg[0] != chosen[v] {
+				delete(nd.conflict, u)
+			}
+		}
+	}
+	return nil
+}
+
+// edgeExp computes E[X_e | basis] for the conflict edge (nd.id, u) over
+// the w-bit batch: survival requires both endpoints to pick the same
+// path, and each path contributes the reciprocal surviving list sizes.
+func (st *cliqueRun) edgeExp(bs *gf2.Basis, fam *gf2.Family, nd *clqNode, u, w int) float64 {
+	m := fam.Field().M()
+	ku := nd.nbrK[nd.id]
+	kv := nd.nbrK[u]
+	if kv == nil {
+		return 0
+	}
+	total := 0.0
+	events := make([]gf2.CoinEvent, 0, 2*w)
+	for p := 0; p < 1<<w; p++ {
+		if ku[p] == 0 || kv[p] == 0 {
+			continue
+		}
+		events = events[:0]
+		ok := true
+		for t := 0; t < w && ok; t++ {
+			prefix := p >> uint(w-t) // first t bits of p
+			want := p>>uint(w-1-t)&1 == 1
+			for side, id := range [2]int{nd.id, u} {
+				counts := ku
+				if side == 1 {
+					counts = kv
+				}
+				den := subtreeCount(counts, w, prefix, t)
+				num := subtreeCount(counts, w, prefix<<1|1, t+1)
+				if den == 0 {
+					ok = false
+					break
+				}
+				coin, err := gf2.NewCoinFromForms(
+					fam.WindowForms(uint64(id), m-(t+1)*st.b, st.b), num, den)
+				if err != nil {
+					panic(err)
+				}
+				events = append(events, gf2.CoinEvent{Coin: coin, Want: want})
+			}
+		}
+		if !ok {
+			continue
+		}
+		if pr := gf2.ProbConj(bs, events); pr > 0 {
+			total += pr * (1/float64(ku[p]) + 1/float64(kv[p]))
+		}
+	}
+	return total
+}
+
+// localFinish routes the uncolored subgraph and lists to the leader,
+// solves greedily there, and distributes the colors (Lenzen routing +
+// one broadcast-style round).
+func (st *cliqueRun) localFinish(inst *graph.Instance) error {
+	out := make([][]Routed, st.n)
+	for v, nd := range st.nodes {
+		if !nd.alive {
+			continue
+		}
+		for u := range nd.aliveNbr {
+			if u > v {
+				out[v] = append(out[v], Routed{Dst: 0, Payload: Message{0, uint64(v), uint64(u)}})
+			}
+		}
+		for _, c := range nd.list {
+			out[v] = append(out[v], Routed{Dst: 0, Payload: Message{1, uint64(v), uint64(c)}})
+		}
+	}
+	in, err := st.sim.RouteAll(out)
+	if err != nil {
+		return err
+	}
+	// Leader assembles and greedily list-colors the residual instance.
+	type resid struct {
+		nbrs []int
+		list []uint32
+	}
+	sub := map[int]*resid{}
+	get := func(v int) *resid {
+		if sub[v] == nil {
+			sub[v] = &resid{}
+		}
+		return sub[v]
+	}
+	if nd := st.nodes[0]; nd.alive {
+		for u := range nd.aliveNbr {
+			get(0).nbrs = append(get(0).nbrs, u)
+			get(u).nbrs = append(get(u).nbrs, 0)
+		}
+		get(0).list = append(get(0).list, nd.list...)
+	}
+	for _, rm := range in[0] {
+		p := rm.Payload
+		switch p[0] {
+		case 0:
+			v, u := int(p[1]), int(p[2])
+			get(v).nbrs = append(get(v).nbrs, u)
+			get(u).nbrs = append(get(u).nbrs, v)
+		case 1:
+			get(int(p[1])).list = append(get(int(p[1])).list, uint32(p[2]))
+		}
+	}
+	assigned := map[int]uint32{}
+	// Deterministic order: ascending node ID.
+	ids := make([]int, 0, len(sub))
+	for v := range sub {
+		ids = append(ids, v)
+	}
+	sortInts(ids)
+	for _, v := range ids {
+		taken := map[uint32]bool{}
+		for _, u := range sub[v].nbrs {
+			if c, ok := assigned[u]; ok {
+				taken[c] = true
+			}
+		}
+		found := false
+		for _, c := range sub[v].list {
+			if !taken[c] {
+				assigned[v] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("clique: leader greedy failed at node %d", v)
+		}
+	}
+	// Distribute colors (1 round; the leader unicasts each node its color).
+	outX := emptyOut(st.n)
+	for v, c := range assigned {
+		if v == 0 {
+			st.nodes[0].color = c
+			st.nodes[0].colored = true
+			st.nodes[0].alive = false
+			continue
+		}
+		outX[0][v] = Message{uint64(c)}
+	}
+	inX, err := st.sim.Exchange(outX)
+	if err != nil {
+		return err
+	}
+	for v, nd := range st.nodes {
+		if msg, ok := inX[v][0]; ok {
+			nd.color = uint32(msg[0])
+			nd.colored = true
+			nd.alive = false
+		}
+	}
+	return nil
+}
+
+// leafCounts returns K(p) for every w-bit path p over the batch whose
+// most significant bit position is hi.
+func leafCounts(cands []uint32, hi, w int) []uint64 {
+	counts := make([]uint64, 1<<w)
+	for _, c := range cands {
+		p := 0
+		for t := 0; t < w; t++ {
+			p = p<<1 | int(c>>uint(hi-t)&1)
+		}
+		counts[p]++
+	}
+	return counts
+}
+
+// subtreeCount returns S(q) = Σ_{p extends q} K(p) for a t-bit prefix q.
+func subtreeCount(counts []uint64, w, q, t int) uint64 {
+	var s uint64
+	width := w - t
+	base := q << uint(width)
+	for i := 0; i < 1<<width; i++ {
+		s += counts[base+i]
+	}
+	return s
+}
+
+// filterByPath keeps candidates whose batch bits equal path.
+func filterByPath(cands []uint32, hi, w int, path uint64) []uint32 {
+	out := cands[:0]
+	for _, c := range cands {
+		p := uint64(0)
+		for t := 0; t < w; t++ {
+			p = p<<1 | uint64(c>>uint(hi-t)&1)
+		}
+		if p == path {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func removeColor(list []uint32, c uint32) []uint32 {
+	for i, x := range list {
+		if x == c {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func emptyOut(n int) []map[int]Message {
+	out := make([]map[int]Message, n)
+	for i := range out {
+		out[i] = map[int]Message{}
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func boolW(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

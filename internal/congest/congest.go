@@ -1,0 +1,356 @@
+// Package congest simulates the synchronous CONGEST message-passing model
+// [Pel00]: n nodes host processors on the vertices of a communication
+// graph; computation proceeds in synchronous rounds; in each round every
+// node may send one message of O(log n) bits over each incident edge and
+// perform arbitrary local computation.
+//
+// Node programs are ordinary blocking Go functions — one goroutine per
+// node — that call Ctx.Send to queue messages and Ctx.Next to end the
+// current round (a barrier) and receive the messages delivered for the
+// next one. The simulator:
+//
+//   - enforces the bandwidth cap (messages wider than MaxWords are a
+//     protocol violation and abort the run with an error);
+//   - supports per-edge FIFO queueing (SendQueued) so that multiple
+//     logical messages contending for one edge are automatically
+//     pipelined, which is how the congestion-κ cluster trees of the
+//     network decomposition pay their true round cost;
+//   - counts rounds, messages, and words, and records the widest message
+//     observed, so every complexity claim in the paper is *measured*.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"smallbandwidth/internal/graph"
+)
+
+// Message is the payload of one CONGEST message: a short slice of 64-bit
+// words. In the standard parameterization one word models Θ(log n) bits.
+type Message []uint64
+
+// Incoming is a delivered message together with its sender's node ID.
+type Incoming struct {
+	From    int
+	Payload Message
+}
+
+// Config controls the simulation.
+type Config struct {
+	// MaxWords is the bandwidth cap per edge per direction per round, in
+	// 64-bit words. Zero means the default of 4 words (≈ 4·64 bits, a
+	// constant number of O(log n)-bit words).
+	MaxWords int
+	// MaxRounds aborts runs that exceed this many rounds (default 1<<22),
+	// turning protocol livelocks into test failures instead of hangs.
+	MaxRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWords == 0 {
+		c.MaxWords = 4
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1 << 22
+	}
+	return c
+}
+
+// Stats aggregates the measured cost of a run.
+type Stats struct {
+	Rounds          int   // number of synchronous rounds executed
+	Messages        int64 // messages delivered
+	Words           int64 // total words delivered
+	MaxMessageWords int   // widest single message observed
+}
+
+// errAborted unwinds node goroutines when any node fails.
+var errAborted = errors.New("congest: run aborted")
+
+// Ctx is a node's handle to the simulation. All methods must be called
+// only from that node's own goroutine.
+type Ctx struct {
+	r   *runner
+	id  int
+	nbr []int32     // neighbor node IDs, sorted
+	idx map[int]int // node ID -> index in nbr
+
+	outbox  [][]Message // per-neighbor FIFO of pending messages
+	sentNow []bool      // direct Send already used this round, per neighbor
+	inbox   []Incoming
+}
+
+// ID returns this node's identifier.
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of nodes in the network (nodes know n, as is
+// standard in CONGEST algorithms).
+func (c *Ctx) N() int { return c.r.g.N() }
+
+// Degree returns this node's degree.
+func (c *Ctx) Degree() int { return len(c.nbr) }
+
+// Neighbors returns the sorted IDs of this node's neighbors. Read-only.
+func (c *Ctx) Neighbors() []int32 { return c.nbr }
+
+// NeighborIndex returns the index of neighbor ID in Neighbors(), or -1.
+func (c *Ctx) NeighborIndex(id int) int {
+	if i, ok := c.idx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Round returns the current round number (starting at 0).
+func (c *Ctx) Round() int { return c.r.round }
+
+// Send queues a message to neighbor `to` for delivery next round. It is a
+// protocol violation (aborting the run) to send twice to the same
+// neighbor in one round, to exceed the bandwidth cap, or to send to a
+// non-neighbor.
+func (c *Ctx) Send(to int, msg Message) {
+	i := c.NeighborIndex(to)
+	if i < 0 {
+		c.r.fail(fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to))
+		panic(errAborted)
+	}
+	if c.sentNow[i] {
+		c.r.fail(fmt.Errorf("congest: node %d sent twice to %d in round %d", c.id, to, c.r.round))
+		panic(errAborted)
+	}
+	if len(c.outbox[i]) > 0 {
+		c.r.fail(fmt.Errorf("congest: node %d direct Send to %d with queued backlog", c.id, to))
+		panic(errAborted)
+	}
+	c.checkWidth(msg)
+	c.sentNow[i] = true
+	c.outbox[i] = append(c.outbox[i], msg)
+}
+
+// SendQueued appends a message to the FIFO for neighbor `to`; one queued
+// message per edge per direction is delivered each round, so bursts are
+// pipelined across rounds exactly as congestion forces in the real model.
+func (c *Ctx) SendQueued(to int, msg Message) {
+	i := c.NeighborIndex(to)
+	if i < 0 {
+		c.r.fail(fmt.Errorf("congest: node %d queued to non-neighbor %d", c.id, to))
+		panic(errAborted)
+	}
+	c.checkWidth(msg)
+	c.outbox[i] = append(c.outbox[i], msg)
+}
+
+func (c *Ctx) checkWidth(msg Message) {
+	if len(msg) > c.r.cfg.MaxWords {
+		c.r.fail(fmt.Errorf("congest: node %d message of %d words exceeds cap %d",
+			c.id, len(msg), c.r.cfg.MaxWords))
+		panic(errAborted)
+	}
+	if len(msg) == 0 {
+		c.r.fail(fmt.Errorf("congest: node %d sent empty message", c.id))
+		panic(errAborted)
+	}
+}
+
+// Pending reports whether any queued messages remain undelivered.
+func (c *Ctx) Pending() bool {
+	for _, q := range c.outbox {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Next ends the node's current round and blocks until all nodes have done
+// so; it returns the messages delivered to this node for the new round.
+// The returned slice is valid until the following Next call.
+func (c *Ctx) Next() []Incoming {
+	if !c.r.barrierWait() {
+		panic(errAborted)
+	}
+	in := c.inbox
+	c.inbox = nil
+	return in
+}
+
+// runner drives one simulation.
+type runner struct {
+	g   *graph.Graph
+	cfg Config
+
+	ctxs []*Ctx
+
+	mu      sync.Mutex
+	arrived int
+	active  int
+	release chan struct{}
+	round   int
+	err     error
+	aborted bool
+
+	stats Stats
+}
+
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.aborted = true
+	r.mu.Unlock()
+}
+
+// barrierWait blocks until all active nodes arrive; the last arrival
+// delivers messages and advances the round. Returns false if aborted.
+func (r *runner) barrierWait() bool {
+	r.mu.Lock()
+	if r.aborted {
+		r.mu.Unlock()
+		return false
+	}
+	r.arrived++
+	if r.arrived == r.active {
+		r.deliverLocked()
+		r.arrived = 0
+		rel := r.release
+		r.release = make(chan struct{})
+		aborted := r.aborted
+		r.mu.Unlock()
+		close(rel)
+		return !aborted
+	}
+	rel := r.release
+	r.mu.Unlock()
+	<-rel
+	r.mu.Lock()
+	aborted := r.aborted
+	r.mu.Unlock()
+	return !aborted
+}
+
+// leave removes a finished node from the barrier population.
+func (r *runner) leave() {
+	r.mu.Lock()
+	r.active--
+	if r.active > 0 && r.arrived == r.active {
+		r.deliverLocked()
+		r.arrived = 0
+		rel := r.release
+		r.release = make(chan struct{})
+		r.mu.Unlock()
+		close(rel)
+		return
+	}
+	if r.active == 0 {
+		// Wake nobody; Run's WaitGroup will return.
+	}
+	r.mu.Unlock()
+}
+
+// deliverLocked moves one queued message per directed edge into the
+// recipients' inboxes and advances the round counter. Caller holds mu.
+func (r *runner) deliverLocked() {
+	r.round++
+	r.stats.Rounds++
+	if r.stats.Rounds > r.cfg.MaxRounds {
+		if r.err == nil {
+			r.err = fmt.Errorf("congest: exceeded MaxRounds=%d", r.cfg.MaxRounds)
+		}
+		r.aborted = true
+		return
+	}
+	for _, c := range r.ctxs {
+		for i := range c.outbox {
+			q := c.outbox[i]
+			if len(q) == 0 {
+				continue
+			}
+			msg := q[0]
+			copy(q, q[1:])
+			c.outbox[i] = q[:len(q)-1]
+			to := int(c.nbr[i])
+			rc := r.ctxs[to]
+			rc.inbox = append(rc.inbox, Incoming{From: c.id, Payload: msg})
+			r.stats.Messages++
+			r.stats.Words += int64(len(msg))
+			if len(msg) > r.stats.MaxMessageWords {
+				r.stats.MaxMessageWords = len(msg)
+			}
+		}
+		for i := range c.sentNow {
+			c.sentNow[i] = false
+		}
+	}
+}
+
+// Run executes program on every node of g until all node programs return.
+// It returns the measured statistics, or an error if any node violated
+// the model, panicked, or the round cap was hit.
+func Run(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return &Stats{}, nil
+	}
+	r := &runner{
+		g:       g,
+		cfg:     cfg,
+		ctxs:    make([]*Ctx, n),
+		active:  n,
+		release: make(chan struct{}),
+	}
+	for v := 0; v < n; v++ {
+		nbr := g.Neighbors(v)
+		idx := make(map[int]int, len(nbr))
+		for i, w := range nbr {
+			idx[int(w)] = i
+		}
+		r.ctxs[v] = &Ctx{
+			r:       r,
+			id:      v,
+			nbr:     nbr,
+			idx:     idx,
+			outbox:  make([][]Message, len(nbr)),
+			sentNow: make([]bool, len(nbr)),
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		ctx := r.ctxs[v]
+		go func() {
+			defer wg.Done()
+			defer r.leave()
+			defer func() {
+				if p := recover(); p != nil && !errors.Is(asErr(p), errAborted) {
+					r.fail(fmt.Errorf("congest: node %d panicked: %v", ctx.id, p))
+				}
+			}()
+			program(ctx)
+		}()
+	}
+	wg.Wait()
+	// Messages queued by nodes that exited early are still delivered at
+	// later barriers; only messages left after the last node exits were
+	// truly dropped, which indicates a protocol bug.
+	if r.err == nil {
+		for _, ctx := range r.ctxs {
+			if ctx.Pending() {
+				r.err = fmt.Errorf("congest: node %d finished with undelivered queued messages", ctx.id)
+				break
+			}
+		}
+	}
+	st := r.stats
+	return &st, r.err
+}
+
+func asErr(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return nil
+}

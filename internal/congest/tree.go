@@ -1,0 +1,303 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Internal message tags for the tree primitives. User protocols should
+// use tags ≥ UserTagBase.
+const (
+	tagAdopt    uint64 = 1 // [tag, depth, parentID+1] — BFS wave + parent notification
+	tagReport   uint64 = 2 // [tag, height, size] — convergecast of subtree stats
+	tagTreeDone uint64 = 3 // [tag, height, syncRound] — downcast of tree completion
+	tagUp       uint64 = 4 // [tag, op, values...] — aggregation chunk toward root
+	tagDown     uint64 = 5 // [tag, op, values...] — broadcast chunk toward leaves
+
+	// UserTagBase is the first tag value available to user protocols.
+	UserTagBase uint64 = 16
+)
+
+// Tree is a node's local view of a BFS spanning tree of the communication
+// graph, produced by BuildBFSTree. Aggregation (ConvergeSum) and
+// broadcast (Broadcast) over the tree are the communication backbone of
+// the derandomization in Lemma 2.6.
+type Tree struct {
+	Root     int
+	Parent   int   // parent node ID; -1 at the root
+	Children []int // child node IDs, ascending
+	Depth    int   // distance from the root
+	Height   int   // height of the whole tree (max depth), known everywhere
+	Size     int   // number of nodes in the tree (= n for spanning trees)
+}
+
+// MaxWords returns the per-message bandwidth cap of the simulation.
+func (c *Ctx) MaxWords() int { return c.r.cfg.MaxWords }
+
+// BuildBFSTree constructs a BFS spanning tree rooted at root using the
+// deterministic flooding protocol: the wave carries (depth, parent
+// choice), ties broken toward the smallest sender ID; subtree reports are
+// converged to the root, which then broadcasts completion so that every
+// node knows the tree height before returning. Takes O(D) rounds.
+// The graph must be connected.
+//
+// All nodes return in the *same* round (the completion broadcast carries
+// a synchronization round that every node spins to), so protocols may
+// follow the build with globally scheduled fixed-length segments.
+func BuildBFSTree(ctx *Ctx, root int) *Tree {
+	t := &Tree{Root: root, Parent: -1, Depth: 0}
+	adopted := ctx.ID() == root
+	notified := make(map[int]uint64, ctx.Degree()) // neighbor -> parentID+1
+	reported := 0
+	childrenKnown := false
+	sentReport := false
+	height := 0 // height of my subtree
+	size := 1
+
+	if adopted {
+		for _, w := range ctx.Neighbors() {
+			ctx.Send(int(w), Message{tagAdopt, 0, 0}) // parentID+1 = 0 (none)
+		}
+		if ctx.Degree() == 0 {
+			t.Height, t.Size = 0, 1
+			return t
+		}
+	}
+
+	for {
+		adoptedThisRound := false
+		for _, in := range ctx.Next() {
+			switch in.Payload[0] {
+			case tagAdopt:
+				depth := int(in.Payload[1])
+				notified[in.From] = in.Payload[2]
+				if !adopted {
+					adopted = true
+					adoptedThisRound = true
+					t.Parent = in.From
+					t.Depth = depth + 1
+					for _, w := range ctx.Neighbors() {
+						ctx.Send(int(w), Message{tagAdopt, uint64(t.Depth), uint64(t.Parent) + 1})
+					}
+				}
+			case tagReport:
+				if h := int(in.Payload[1]) + 1; h > height {
+					height = h
+				}
+				size += int(in.Payload[2])
+				reported++
+			case tagTreeDone:
+				t.Height = int(in.Payload[1])
+				t.Size = ctx.N()
+				for _, ch := range t.Children {
+					ctx.Send(ch, Message{tagTreeDone, in.Payload[1], in.Payload[2]})
+				}
+				spinUntil(ctx, int(in.Payload[2]))
+				return t
+			default:
+				panic(fmt.Sprintf("congest: unexpected tag %d during tree build", in.Payload[0]))
+			}
+		}
+		if adopted && !childrenKnown && len(notified) == ctx.Degree() {
+			childrenKnown = true
+			for _, w := range ctx.Neighbors() {
+				if notified[int(w)] == uint64(ctx.ID())+1 {
+					t.Children = append(t.Children, int(w))
+				}
+			}
+		}
+		// Defer the report by one round if the adopt wave just went out on
+		// the same edge (one message per edge per round).
+		if childrenKnown && !sentReport && reported == len(t.Children) && !adoptedThisRound {
+			sentReport = true
+			if ctx.ID() == root {
+				t.Height = height
+				t.Size = size
+				sync := ctx.Round() + height + 3
+				for _, ch := range t.Children {
+					ctx.Send(ch, Message{tagTreeDone, uint64(height), uint64(sync)})
+				}
+				spinUntil(ctx, sync)
+				return t
+			}
+			ctx.Send(t.Parent, Message{tagReport, uint64(height), uint64(size)})
+		}
+	}
+}
+
+// ConvergeSum computes the component-wise sum over all nodes of the given
+// float64 vector (same length everywhere) and returns the total at every
+// node: an up-phase aggregates along the tree, then a down-phase
+// broadcasts the result. Chunks are pipelined through the per-edge FIFOs,
+// so one invocation costs O(Height + len(vec)/chunk) rounds. op tags the
+// invocation for cross-phase assertion only.
+func ConvergeSum(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
+	l := len(vec)
+	if l == 0 {
+		panic("congest: ConvergeSum of empty vector")
+	}
+	vals := ctx.MaxWords() - 2
+	if vals < 1 {
+		panic("congest: MaxWords too small for tree aggregation")
+	}
+	chunks := (l + vals - 1) / vals
+
+	acc := make([]float64, l)
+	copy(acc, vec)
+	result := make([]float64, l)
+	childChunks := make(map[int]int, len(t.Children))
+	pendingChildren := len(t.Children)
+	downChunks := 0
+
+	sendChunks := func(to int, data []float64, tag uint64) {
+		for c := 0; c < chunks; c++ {
+			lo := c * vals
+			hi := min(lo+vals, l)
+			msg := make(Message, 0, 2+hi-lo)
+			msg = append(msg, tag, op)
+			for _, f := range data[lo:hi] {
+				msg = append(msg, math.Float64bits(f))
+			}
+			ctx.SendQueued(to, msg)
+		}
+	}
+	startDown := func() []float64 {
+		copy(result, acc)
+		for _, ch := range t.Children {
+			sendChunks(ch, result, tagDown)
+		}
+		return result
+	}
+
+	if pendingChildren == 0 {
+		if t.Parent == -1 {
+			return startDown()
+		}
+		sendChunks(t.Parent, acc, tagUp)
+	}
+	upDone := pendingChildren == 0
+
+	for {
+		for _, in := range ctx.Next() {
+			tag := in.Payload[0]
+			switch tag {
+			case tagUp:
+				if in.Payload[1] != op {
+					panic(fmt.Sprintf("congest: node %d got up-chunk op %d during op %d",
+						ctx.ID(), in.Payload[1], op))
+				}
+				c := childChunks[in.From]
+				lo := c * vals
+				for i, w := range in.Payload[2:] {
+					acc[lo+i] += math.Float64frombits(w)
+				}
+				childChunks[in.From] = c + 1
+				if c+1 == chunks {
+					pendingChildren--
+					if pendingChildren == 0 && !upDone {
+						upDone = true
+						if t.Parent == -1 {
+							return startDown()
+						}
+						sendChunks(t.Parent, acc, tagUp)
+					}
+				}
+			case tagDown:
+				if in.Payload[1] != op {
+					panic(fmt.Sprintf("congest: node %d got down-chunk op %d during op %d",
+						ctx.ID(), in.Payload[1], op))
+				}
+				lo := downChunks * vals
+				for i, w := range in.Payload[2:] {
+					result[lo+i] = math.Float64frombits(w)
+				}
+				// Forward this chunk immediately (pipelining).
+				for _, ch := range t.Children {
+					fwd := make(Message, len(in.Payload))
+					copy(fwd, in.Payload)
+					ctx.SendQueued(ch, fwd)
+				}
+				downChunks++
+				if downChunks == chunks {
+					return result
+				}
+			default:
+				panic(fmt.Sprintf("congest: unexpected tag %d during ConvergeSum", tag))
+			}
+		}
+	}
+}
+
+// Broadcast distributes the root's words to every node over the tree and
+// returns them; non-root nodes pass nil. All nodes must agree on
+// expectLen. Costs O(Height + expectLen/chunk) rounds.
+func Broadcast(ctx *Ctx, t *Tree, op uint64, words []uint64, expectLen int) []uint64 {
+	if expectLen == 0 {
+		panic("congest: Broadcast of empty payload")
+	}
+	vals := ctx.MaxWords() - 2
+	if vals < 1 {
+		panic("congest: MaxWords too small for tree broadcast")
+	}
+	chunks := (expectLen + vals - 1) / vals
+	if t.Parent == -1 {
+		if len(words) != expectLen {
+			panic(fmt.Sprintf("congest: root broadcast of %d words, expected %d", len(words), expectLen))
+		}
+		for c := 0; c < chunks; c++ {
+			lo := c * vals
+			hi := min(lo+vals, expectLen)
+			for _, ch := range t.Children {
+				msg := make(Message, 0, 2+hi-lo)
+				msg = append(msg, tagDown, op)
+				msg = append(msg, words[lo:hi]...)
+				ctx.SendQueued(ch, msg)
+			}
+		}
+		return words
+	}
+	result := make([]uint64, expectLen)
+	got := 0
+	for {
+		for _, in := range ctx.Next() {
+			if in.Payload[0] != tagDown || in.Payload[1] != op {
+				panic(fmt.Sprintf("congest: unexpected message (tag %d op %d) during Broadcast op %d",
+					in.Payload[0], in.Payload[1], op))
+			}
+			lo := got * vals
+			copy(result[lo:], in.Payload[2:])
+			for _, ch := range t.Children {
+				fwd := make(Message, len(in.Payload))
+				copy(fwd, in.Payload)
+				ctx.SendQueued(ch, fwd)
+			}
+			got++
+			if got == chunks {
+				return result
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// spinUntil advances rounds (delivering nothing) until the given absolute
+// round, re-establishing global lockstep after a message-driven phase.
+// Receiving anything while spinning indicates a protocol bug.
+func spinUntil(ctx *Ctx, round int) {
+	for ctx.Round() < round {
+		if in := ctx.Next(); len(in) != 0 {
+			panic(fmt.Sprintf("congest: node %d received %d messages while resynchronizing",
+				ctx.ID(), len(in)))
+		}
+	}
+}
+
+// SpinUntil is the exported form of the resynchronization helper: the
+// node ticks empty rounds until the given absolute round number.
+func SpinUntil(ctx *Ctx, round int) { spinUntil(ctx, round) }

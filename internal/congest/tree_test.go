@@ -1,0 +1,241 @@
+package congest
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"smallbandwidth/internal/graph"
+)
+
+// collectTrees builds a BFS tree on g and returns each node's local view.
+func collectTrees(t *testing.T, g *graph.Graph, root int) []*Tree {
+	t.Helper()
+	trees := make([]*Tree, g.N())
+	var mu sync.Mutex
+	_, err := Run(g, Config{}, func(ctx *Ctx) {
+		tr := BuildBFSTree(ctx, root)
+		mu.Lock()
+		trees[ctx.ID()] = tr
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trees
+}
+
+func TestBFSTreeStructure(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":    graph.Path(10),
+		"cycle":   graph.Cycle(9),
+		"grid":    graph.Grid2D(4, 6),
+		"star":    graph.Star(8),
+		"regular": graph.MustRandomRegular(30, 4, 5),
+		"single":  graph.Path(1),
+		"barbell": graph.Barbell(4, 6),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			root := 0
+			trees := collectTrees(t, g, root)
+			dist, _ := g.BFS(root)
+			maxDepth := 0
+			for v, tr := range trees {
+				if tr.Depth != dist[v] {
+					t.Errorf("node %d depth %d, BFS dist %d", v, tr.Depth, dist[v])
+				}
+				if tr.Depth > maxDepth {
+					maxDepth = tr.Depth
+				}
+				if v == root {
+					if tr.Parent != -1 {
+						t.Errorf("root has parent %d", tr.Parent)
+					}
+				} else {
+					if tr.Parent < 0 || !g.HasEdge(v, tr.Parent) {
+						t.Errorf("node %d parent %d not a neighbor", v, tr.Parent)
+					}
+					if trees[tr.Parent].Depth != tr.Depth-1 {
+						t.Errorf("node %d parent depth mismatch", v)
+					}
+				}
+				for _, ch := range tr.Children {
+					if trees[ch].Parent != v {
+						t.Errorf("child %d of %d does not point back", ch, v)
+					}
+				}
+			}
+			for _, tr := range trees {
+				if tr.Height != maxDepth {
+					t.Errorf("tree height %d, want %d", tr.Height, maxDepth)
+				}
+				if tr.Size != g.N() {
+					t.Errorf("tree size %d, want %d", tr.Size, g.N())
+				}
+			}
+			// Every non-root node is someone's child exactly once.
+			childCount := make([]int, g.N())
+			for _, tr := range trees {
+				for _, ch := range tr.Children {
+					childCount[ch]++
+				}
+			}
+			for v, c := range childCount {
+				want := 1
+				if v == root {
+					want = 0
+				}
+				if c != want {
+					t.Errorf("node %d is child of %d parents", v, c)
+				}
+			}
+		})
+	}
+}
+
+func TestBFSTreeRoundsProportionalToDiameter(t *testing.T) {
+	small := graph.Cycle(8)
+	big := graph.Cycle(64)
+	stSmall, err := Run(small, Config{}, func(ctx *Ctx) { BuildBFSTree(ctx, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBig, err := Run(big, Config{}, func(ctx *Ctx) { BuildBFSTree(ctx, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBig.Rounds <= stSmall.Rounds {
+		t.Errorf("tree build rounds should grow with D: %d vs %d", stSmall.Rounds, stBig.Rounds)
+	}
+	if stBig.Rounds > 8*big.Diameter()+20 {
+		t.Errorf("tree build took %d rounds on diameter %d", stBig.Rounds, big.Diameter())
+	}
+}
+
+func TestConvergeSumAllNodes(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(12), graph.Grid2D(4, 5), graph.Star(9), graph.Path(1),
+	} {
+		n := g.N()
+		results := make([][]float64, n)
+		var mu sync.Mutex
+		_, err := Run(g, Config{}, func(ctx *Ctx) {
+			tr := BuildBFSTree(ctx, 0)
+			vec := []float64{float64(ctx.ID()), 1.0}
+			sum := ConvergeSum(ctx, tr, 1, vec)
+			mu.Lock()
+			results[ctx.ID()] = sum
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum := float64(n*(n-1)) / 2
+		for v, res := range results {
+			if res == nil {
+				t.Fatalf("node %d got no result", v)
+			}
+			if math.Abs(res[0]-wantSum) > 1e-9 || math.Abs(res[1]-float64(n)) > 1e-9 {
+				t.Errorf("node %d sum = %v, want [%v %v]", v, res, wantSum, float64(n))
+			}
+		}
+	}
+}
+
+func TestConvergeSumLongVectorChunked(t *testing.T) {
+	// Vector longer than one message forces chunking + pipelining.
+	g := graph.Path(6)
+	const l = 9
+	var mu sync.Mutex
+	results := make([][]float64, g.N())
+	st, err := Run(g, Config{MaxWords: 3}, func(ctx *Ctx) { // 1 value per chunk
+		tr := BuildBFSTree(ctx, 0)
+		vec := make([]float64, l)
+		for i := range vec {
+			vec[i] = float64(ctx.ID()*100 + i)
+		}
+		sum := ConvergeSum(ctx, tr, 7, vec)
+		mu.Lock()
+		results[ctx.ID()] = sum
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l; i++ {
+		want := 0.0
+		for v := 0; v < g.N(); v++ {
+			want += float64(v*100 + i)
+		}
+		for v := range results {
+			if math.Abs(results[v][i]-want) > 1e-9 {
+				t.Fatalf("component %d at node %d: got %v want %v", i, v, results[v][i], want)
+			}
+		}
+	}
+	if st.MaxMessageWords > 3 {
+		t.Errorf("bandwidth cap violated: %d", st.MaxMessageWords)
+	}
+}
+
+func TestSequentialOps(t *testing.T) {
+	// Several converge+broadcast ops back to back must not interfere.
+	g := graph.Grid2D(3, 4)
+	var mu sync.Mutex
+	bad := false
+	_, err := Run(g, Config{}, func(ctx *Ctx) {
+		tr := BuildBFSTree(ctx, 0)
+		for op := uint64(0); op < 5; op++ {
+			sum := ConvergeSum(ctx, tr, op, []float64{1})
+			if sum[0] != float64(g.N()) {
+				mu.Lock()
+				bad = true
+				mu.Unlock()
+			}
+			var words []uint64
+			if ctx.ID() == 0 {
+				words = []uint64{op * 3, op * 5}
+			}
+			got := Broadcast(ctx, tr, 100+op, words, 2)
+			if got[0] != op*3 || got[1] != op*5 {
+				mu.Lock()
+				bad = true
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("sequential tree ops interfered")
+	}
+}
+
+func TestBroadcastFromRoot(t *testing.T) {
+	g := graph.BinaryTree(15)
+	var mu sync.Mutex
+	results := make([][]uint64, g.N())
+	_, err := Run(g, Config{}, func(ctx *Ctx) {
+		tr := BuildBFSTree(ctx, 0)
+		var words []uint64
+		if ctx.ID() == 0 {
+			words = []uint64{11, 22, 33, 44, 55}
+		}
+		got := Broadcast(ctx, tr, 1, words, 5)
+		mu.Lock()
+		results[ctx.ID()] = got
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, res := range results {
+		for i, want := range []uint64{11, 22, 33, 44, 55} {
+			if res[i] != want {
+				t.Fatalf("node %d word %d = %d, want %d", v, i, res[i], want)
+			}
+		}
+	}
+}

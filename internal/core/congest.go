@@ -1,0 +1,497 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/gf2"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/linial"
+)
+
+// Message tags of the coloring protocol (≥ congest.UserTagBase).
+const (
+	tagLinial uint64 = congest.UserTagBase + iota // [tag, color]
+	tagPhase                                      // [tag, k1, |L|, ψ]
+	tagBit                                        // [tag, bit]
+	tagV4                                         // [tag, inV4]
+	tagHLin                                       // [tag, hColor]
+	tagMIS                                        // [tag]
+	tagFinal                                      // [tag, color]
+)
+
+// Result reports the outcome and the measured cost of a run.
+type Result struct {
+	Colors     []uint32 // proper list coloring, one per node
+	Stats      congest.Stats
+	Iterations int   // partial-coloring iterations executed
+	Colored    []int // nodes permanently colored in each iteration
+	AliveAt    []int // uncolored nodes at the start of each iteration
+	// PotentialStart[i] is Σ_v Φ₀(v) at the start of iteration i;
+	// PotentialPhase[i][ℓ−1] is Σ_v Φ_ℓ(v) after phase ℓ (when
+	// Options.TrackPotentials is set).
+	PotentialStart []float64
+	PotentialPhase [][]float64
+	Params         *Params
+	Done           bool // all nodes colored (false only with MaxIterations)
+}
+
+// metrics collects measurement-only data outside the protocol.
+type metrics struct {
+	mu       sync.Mutex
+	potStart map[int]float64
+	potPhase map[int]map[int]float64
+	colored  map[int]int
+	alive    map[int]int
+	track    bool
+}
+
+func newMetrics(track bool) *metrics {
+	return &metrics{
+		potStart: map[int]float64{},
+		potPhase: map[int]map[int]float64{},
+		colored:  map[int]int{},
+		alive:    map[int]int{},
+		track:    track,
+	}
+}
+
+func (m *metrics) addPotStart(iter int, phi float64) {
+	if !m.track {
+		return
+	}
+	m.mu.Lock()
+	m.potStart[iter] += phi
+	m.mu.Unlock()
+}
+
+func (m *metrics) addPotPhase(iter, phase int, phi float64) {
+	if !m.track {
+		return
+	}
+	m.mu.Lock()
+	if m.potPhase[iter] == nil {
+		m.potPhase[iter] = map[int]float64{}
+	}
+	m.potPhase[iter][phase] += phi
+	m.mu.Unlock()
+}
+
+func (m *metrics) addColored(iter int) {
+	m.mu.Lock()
+	m.colored[iter]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addAlive(iter int) {
+	m.mu.Lock()
+	m.alive[iter]++
+	m.mu.Unlock()
+}
+
+// ListColorCONGEST solves the (degree+1)-list-coloring instance in the
+// simulated CONGEST model (Theorem 1.1): an O(log* n)-round Linial
+// coloring for symmetry breaking, then partial-coloring iterations
+// (Lemma 2.1), each derandomizing ⌈logC⌉ prefix-extension phases with
+// seed bits fixed one by one via conditional expectations aggregated over
+// a BFS tree, followed by an MIS step on the ≤3-degree conflict graph.
+// The graph must be connected (the BFS tree spans it); use
+// ListColorComponents for disconnected inputs.
+func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
+	p, err := ComputeParams(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if inst.G.N() == 0 {
+		return &Result{Params: p, Done: true}, nil
+	}
+	if !inst.G.IsConnected() {
+		return nil, fmt.Errorf("core: graph is disconnected; use ListColorComponents")
+	}
+
+	m := newMetrics(opts.TrackPotentials)
+	colors := make([]uint32, inst.G.N())
+	coloredFlag := make([]bool, inst.G.N())
+	var mu sync.Mutex
+
+	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds}
+	stats, err := congest.Run(inst.G, cfg, func(ctx *congest.Ctx) {
+		ns := &nodeState{ctx: ctx, p: p, opts: opts, m: m}
+		ns.init(inst)
+		ns.run()
+		mu.Lock()
+		colors[ctx.ID()] = ns.color
+		coloredFlag[ctx.ID()] = ns.colored
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Colors: colors, Stats: *stats, Params: p, Done: true}
+	for _, ok := range coloredFlag {
+		if !ok {
+			res.Done = false
+			break
+		}
+	}
+	for iter := 0; ; iter++ {
+		a, ok := m.alive[iter]
+		if !ok {
+			break
+		}
+		res.Iterations++
+		res.AliveAt = append(res.AliveAt, a)
+		res.Colored = append(res.Colored, m.colored[iter])
+		if opts.TrackPotentials {
+			res.PotentialStart = append(res.PotentialStart, m.potStart[iter])
+			phases := make([]float64, p.LogC)
+			for l := 1; l <= p.LogC; l++ {
+				phases[l-1] = m.potPhase[iter][l]
+			}
+			res.PotentialPhase = append(res.PotentialPhase, phases)
+		}
+	}
+	if res.Done {
+		if err := inst.VerifyColoring(colors); err != nil {
+			return nil, fmt.Errorf("core: produced coloring failed verification: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// nodeState is the per-node protocol state.
+type nodeState struct {
+	ctx  *congest.Ctx
+	p    *Params
+	opts Options
+	m    *metrics
+
+	tree *congest.Tree
+	op   uint64
+
+	psi     uint64   // Linial input color in [K]
+	list    []uint32 // remaining allowed colors
+	color   uint32
+	colored bool
+	alive   bool
+
+	aliveNbr []bool // by neighbor index: neighbor still uncolored
+
+	// Per-iteration state.
+	cands    []uint32
+	conflict []bool // by neighbor index: same prefix, both alive
+	nbrK1    []uint64
+	nbrLen   []uint64
+	nbrPsi   []uint64
+}
+
+func (ns *nodeState) init(inst *graph.Instance) {
+	deg := ns.ctx.Degree()
+	ns.list = append([]uint32(nil), inst.Lists[ns.ctx.ID()]...)
+	ns.alive = true
+	ns.aliveNbr = make([]bool, deg)
+	for i := range ns.aliveNbr {
+		ns.aliveNbr[i] = true
+	}
+	ns.conflict = make([]bool, deg)
+	ns.nbrK1 = make([]uint64, deg)
+	ns.nbrLen = make([]uint64, deg)
+	ns.nbrPsi = make([]uint64, deg)
+}
+
+func (ns *nodeState) run() {
+	ns.tree = congest.BuildBFSTree(ns.ctx, 0)
+	ns.runLinial()
+	maxIter := ns.opts.MaxIterations
+	for iter := 0; ; iter++ {
+		aliveVal := 0.0
+		if ns.alive {
+			aliveVal = 1
+		}
+		totals := ns.converge(aliveVal, 0)
+		if totals[0] == 0 {
+			return
+		}
+		if maxIter > 0 && iter >= maxIter {
+			return
+		}
+		if ns.alive {
+			ns.m.addAlive(iter)
+		}
+		ns.partialIteration(iter)
+	}
+}
+
+// runLinial computes ψ: the O(Δ²)-ish input coloring from node IDs in
+// len(LinialSched) = O(log* n) rounds.
+func (ns *nodeState) runLinial() {
+	ns.psi = uint64(ns.ctx.ID())
+	for _, st := range ns.p.LinialSched {
+		for _, w := range ns.ctx.Neighbors() {
+			ns.ctx.Send(int(w), congest.Message{tagLinial, ns.psi})
+		}
+		nbrColors := make([]uint64, 0, ns.ctx.Degree())
+		for _, in := range ns.ctx.Next() {
+			mustTag(in, tagLinial)
+			nbrColors = append(nbrColors, in.Payload[1])
+		}
+		next, err := linial.NextColor(ns.psi, nbrColors, st)
+		if err != nil {
+			panic(fmt.Sprintf("core: Linial step failed at node %d: %v", ns.ctx.ID(), err))
+		}
+		ns.psi = next
+	}
+}
+
+// partialIteration runs one invocation of Lemma 2.1: ⌈logC⌉ derandomized
+// prefix phases, then the MIS step, permanently coloring ≥ 1/8 of the
+// still-uncolored nodes.
+func (ns *nodeState) partialIteration(iter int) {
+	deg := ns.ctx.Degree()
+	// Conflict graph starts as the alive residual graph (empty prefixes).
+	aliveDeg := 0
+	for i := 0; i < deg; i++ {
+		ns.conflict[i] = ns.alive && ns.aliveNbr[i]
+		if ns.conflict[i] {
+			aliveDeg++
+		}
+	}
+	if ns.alive {
+		ns.cands = append(ns.cands[:0], ns.list...)
+		ns.m.addPotStart(iter, float64(aliveDeg)/float64(len(ns.cands)))
+	} else {
+		ns.cands = ns.cands[:0]
+	}
+
+	for l := 1; l <= ns.p.LogC; l++ {
+		ns.runPhase(iter, l)
+	}
+
+	// All bits fixed: the single candidate color and the conflict degree.
+	confDeg := 0
+	for i := 0; i < deg; i++ {
+		if ns.conflict[i] {
+			confDeg++
+		}
+	}
+	if ns.alive && len(ns.cands) != 1 {
+		panic(fmt.Sprintf("core: node %d has %d candidates after all phases", ns.ctx.ID(), len(ns.cands)))
+	}
+
+	// V<4 membership exchange (1 round).
+	inV4 := ns.alive && confDeg <= 3
+	hNbr := make([]bool, deg)
+	if ns.alive {
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] {
+				ns.ctx.Send(int(w), congest.Message{tagV4, boolWord(inV4)})
+			}
+		}
+	}
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagV4)
+		i := ns.ctx.NeighborIndex(in.From)
+		hNbr[i] = inV4 && ns.conflict[i] && in.Payload[1] == 1
+	}
+
+	// Linial on the conflict graph H (max degree 3) from ψ, then iterate
+	// the color classes to build the MIS.
+	hColor := ns.psi
+	for _, st := range ns.p.MISSched {
+		if inV4 {
+			for i, w := range ns.ctx.Neighbors() {
+				if hNbr[i] {
+					ns.ctx.Send(int(w), congest.Message{tagHLin, hColor})
+				}
+			}
+		}
+		var nbrColors []uint64
+		for _, in := range ns.ctx.Next() {
+			mustTag(in, tagHLin)
+			if hNbr[ns.ctx.NeighborIndex(in.From)] {
+				nbrColors = append(nbrColors, in.Payload[1])
+			}
+		}
+		if inV4 {
+			next, err := linial.NextColor(hColor, nbrColors, st)
+			if err != nil {
+				panic(fmt.Sprintf("core: MIS Linial failed at node %d: %v", ns.ctx.ID(), err))
+			}
+			hColor = next
+		}
+	}
+
+	inMIS, blocked := false, false
+	for c := uint64(0); c < ns.p.MISK; c++ {
+		if inV4 && !blocked && !inMIS && hColor == c {
+			inMIS = true
+			for i, w := range ns.ctx.Neighbors() {
+				if hNbr[i] {
+					ns.ctx.Send(int(w), congest.Message{tagMIS})
+				}
+			}
+		}
+		for _, in := range ns.ctx.Next() {
+			mustTag(in, tagMIS)
+			if hNbr[ns.ctx.NeighborIndex(in.From)] {
+				blocked = true
+			}
+		}
+	}
+
+	// MIS nodes keep their candidate color permanently and announce it.
+	if inMIS {
+		ns.color = ns.cands[0]
+		ns.colored = true
+		ns.alive = false
+		ns.m.addColored(iter)
+		for _, w := range ns.ctx.Neighbors() {
+			ns.ctx.Send(int(w), congest.Message{tagFinal, uint64(ns.color)})
+		}
+	}
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagFinal)
+		i := ns.ctx.NeighborIndex(in.From)
+		ns.aliveNbr[i] = false
+		if ns.alive {
+			ns.list = removeColor(ns.list, uint32(in.Payload[1]))
+		}
+	}
+}
+
+// runPhase fixes the ℓ-th prefix bit of every node deterministically
+// (Lemma 2.6): exchange (k1, |L|, ψ) with conflict neighbors, then fix
+// the D seed bits one by one — each by one tree aggregation of the two
+// conditional expectations — and finally extend prefixes and prune the
+// conflict graph.
+func (ns *nodeState) runPhase(iter, l int) {
+	deg := ns.ctx.Degree()
+	bitPos := ns.p.LogC - l
+	var k1, k0 int
+	if ns.alive {
+		k1 = countBitOnes(ns.cands, bitPos)
+		k0 = len(ns.cands) - k1
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] {
+				ns.ctx.Send(int(w), congest.Message{tagPhase, uint64(k1), uint64(len(ns.cands)), ns.psi})
+			}
+		}
+	}
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagPhase)
+		i := ns.ctx.NeighborIndex(in.From)
+		ns.nbrK1[i], ns.nbrLen[i], ns.nbrPsi[i] = in.Payload[1], in.Payload[2], in.Payload[3]
+	}
+
+	// Build this node's coin and its conflict neighbors' coins.
+	var myCoin gf2.Coin
+	nbrCoins := make([]gf2.Coin, deg)
+	if ns.alive {
+		var err error
+		myCoin, err = gf2.NewCoin(ns.p.Fam, ns.psi, ns.p.B, uint64(k1), uint64(len(ns.cands)))
+		if err != nil {
+			panic(fmt.Sprintf("core: node %d coin: %v", ns.ctx.ID(), err))
+		}
+		for i := 0; i < deg; i++ {
+			if !ns.conflict[i] {
+				continue
+			}
+			nbrCoins[i], err = gf2.NewCoin(ns.p.Fam, ns.nbrPsi[i], ns.p.B, ns.nbrK1[i], ns.nbrLen[i])
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d neighbor coin: %v", ns.ctx.ID(), err))
+			}
+		}
+	}
+
+	// Fix the D seed bits by the method of conditional expectations.
+	basis := gf2.NewBasis()
+	var seed gf2.Vec128
+	for j := 0; j < ns.p.D; j++ {
+		var x0, x1 float64
+		if ns.alive {
+			for i, w := range ns.ctx.Neighbors() {
+				// Each conflict edge is owned by its smaller endpoint.
+				if !ns.conflict[i] || int(w) < ns.ctx.ID() {
+					continue
+				}
+				for _, beta := range []bool{false, true} {
+					bs2 := basis.Clone()
+					if !bs2.FixBit(j, beta) {
+						panic("core: seed bit re-fix inconsistent")
+					}
+					e := edgeExpectation(bs2, myCoin, nbrCoins[i],
+						k1, k0, int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i]))
+					if beta {
+						x1 += e
+					} else {
+						x0 += e
+					}
+				}
+			}
+		}
+		totals := ns.converge(x0, x1)
+		// All nodes see identical totals, so the argmin choice needs no
+		// extra broadcast; ties go to 0.
+		rj := totals[1] < totals[0]
+		if !basis.FixBit(j, rj) {
+			panic("core: chosen seed bit inconsistent")
+		}
+		seed = seed.WithBit(j, rj)
+	}
+
+	// Extend prefixes and prune the conflict graph (1 round).
+	var myBit bool
+	if ns.alive {
+		myBit = myCoin.Value(seed)
+		ns.cands = filterByBit(ns.cands, bitPos, myBit)
+		if len(ns.cands) == 0 {
+			panic(fmt.Sprintf("core: node %d candidate list became empty", ns.ctx.ID()))
+		}
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] {
+				ns.ctx.Send(int(w), congest.Message{tagBit, boolWord(myBit)})
+			}
+		}
+	}
+	confDeg := 0
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagBit)
+		i := ns.ctx.NeighborIndex(in.From)
+		if ns.conflict[i] {
+			ns.conflict[i] = ns.alive && (in.Payload[1] == 1) == myBit
+			if ns.conflict[i] {
+				confDeg++
+			}
+		}
+	}
+	if ns.alive {
+		ns.m.addPotPhase(iter, l, float64(confDeg)/float64(len(ns.cands)))
+	}
+}
+
+// converge aggregates the pair (x0, x1) over all nodes via the BFS tree
+// and returns the totals to every node, then resynchronizes the global
+// round so that fixed-length segments may follow.
+func (ns *nodeState) converge(x0, x1 float64) [2]float64 {
+	start := ns.ctx.Round()
+	ns.op++
+	res := congest.ConvergeSum(ns.ctx, ns.tree, ns.op, []float64{x0, x1})
+	congest.SpinUntil(ns.ctx, start+2*ns.tree.Height+6)
+	return [2]float64{res[0], res[1]}
+}
+
+func mustTag(in congest.Incoming, want uint64) {
+	if in.Payload[0] != want {
+		panic(fmt.Sprintf("core: unexpected tag %d (want %d) from node %d",
+			in.Payload[0], want, in.From))
+	}
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: deterministic
+// (degree+1)-list coloring in the CONGEST model in time proportional to
+// the diameter (Lemma 2.1 and Theorem 1.1), by derandomizing — with the
+// method of conditional expectations over a BFS tree — the zero-round
+// randomized bit-by-bit color-prefix extension of Section 2.1.
+//
+// The package also exposes the zero-round randomized processes themselves
+// (Algorithm 1 and its ε-biased variant of Lemma 2.3) for baseline
+// comparison and for Monte-Carlo validation of the expectation bounds.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"smallbandwidth/internal/gf2"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/linial"
+)
+
+// Params collects the global quantities of one list-coloring run. Every
+// node derives the same Params locally from (n, Δ, C) — exactly the
+// "global knowledge" the paper assumes.
+type Params struct {
+	N     int    // number of nodes
+	Delta int    // maximum degree of the communication graph
+	C     uint32 // color-space size; colors are ⌈logC⌉-bit strings
+	LogC  int    // ⌈log₂ C⌉: number of prefix-extension phases
+
+	// Input-coloring (symmetry-breaking) parameters: Linial from IDs.
+	LinialSched []linial.Step
+	K           uint64 // color space of ψ after the Linial schedule
+	A           int    // ⌈log₂ K⌉
+
+	// Derandomization parameters (Lemma 2.6).
+	B int // coin accuracy: ε = 2^−B
+	M int // hash field degree max(A, B)
+	D int // seed length 2M (pairwise independence, k = 2)
+
+	// MIS-step parameters: Linial schedule on the ≤3-degree conflict
+	// graph, starting from the K-coloring ψ.
+	MISSched []linial.Step
+	MISK     uint64 // color classes iterated by the MIS step
+
+	Fam *gf2.Family
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxIterations limits the number of partial-coloring iterations
+	// (0 = run to completion). MaxIterations = 1 is Lemma 2.1.
+	MaxIterations int
+	// HighAccuracy uses the sharper coin accuracy of the paper's
+	// "How to Avoid MIS" variant (Section 4): ε = 1/(10·Δ·(Δ+1)·⌈logC⌉).
+	// The CONGEST algorithm still runs its MIS step, so this serves as an
+	// accuracy ablation.
+	HighAccuracy bool
+	// TrackPotentials records Σ_v Φ(v) before and after every prefix
+	// phase (measured outside the protocol; costs no rounds).
+	TrackPotentials bool
+	// MaxWords overrides the CONGEST bandwidth cap (0 = default).
+	MaxWords int
+	// MaxRounds overrides the CONGEST round cap (0 = default).
+	MaxRounds int
+}
+
+// ComputeParams validates the instance and derives all global parameters.
+func ComputeParams(inst *graph.Instance, opts Options) (*Params, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.G.N()
+	delta := inst.G.MaxDegree()
+	logC := bits.Len32(inst.C - 1) // ⌈log₂ C⌉ for C ≥ 1
+	p := &Params{N: n, Delta: delta, C: inst.C, LogC: logC}
+
+	// Input coloring: Linial from the trivial ID coloring.
+	k0 := uint64(n)
+	if k0 < 2 {
+		k0 = 2
+	}
+	p.LinialSched = linial.Schedule(k0, delta)
+	p.K = k0
+	for _, st := range p.LinialSched {
+		p.K = st.NewK
+	}
+	p.A = bits.Len64(p.K - 1)
+	if p.A < 1 {
+		p.A = 1
+	}
+
+	// Coin accuracy: ε = 2^−B ≤ 1/(10·Δ·⌈logC⌉) so that the per-phase
+	// potential growth is at most n/⌈logC⌉ (Lemma 2.6).
+	effLogC := logC
+	if effLogC < 1 {
+		effLogC = 1
+	}
+	accDenom := uint64(10) * uint64(delta+1) * uint64(effLogC)
+	if opts.HighAccuracy {
+		accDenom *= uint64(delta + 1)
+	}
+	p.B = bits.Len64(accDenom) // ⌈log₂ accDenom⌉ ≤ Len
+	if p.B < 1 {
+		p.B = 1
+	}
+	p.M = p.A
+	if p.B > p.M {
+		p.M = p.B
+	}
+	if p.M > 63 {
+		return nil, fmt.Errorf("core: hash field degree %d exceeds 63 (instance too large)", p.M)
+	}
+	// Coin thresholds are ⌈k1·2^B/|L|⌉ with k1 ≤ C: they must fit uint64.
+	if p.B+bits.Len32(inst.C) > 62 {
+		return nil, fmt.Errorf("core: B=%d with C=%d would overflow coin thresholds", p.B, inst.C)
+	}
+	p.D = 2 * p.M
+	fam, err := gf2.NewFamily(p.M, 2)
+	if err != nil {
+		return nil, err
+	}
+	p.Fam = fam
+
+	// MIS step: conflict graph has max degree 3 on V<4.
+	p.MISSched = linial.Schedule(p.K, 3)
+	p.MISK = p.K
+	for _, st := range p.MISSched {
+		p.MISK = st.NewK
+	}
+	return p, nil
+}
+
+// edgeExpectation returns E[X_e | basis] for a conflict edge, where
+// X_e = 1{e survives}·(1/|L_ℓ(u)|+1/|L_ℓ(v)|) exactly as in Lemma 2.2:
+// the edge survives iff both endpoints extend their prefix with the same
+// bit, and the surviving list sizes are k1 (bit 1) or k0 (bit 0).
+func edgeExpectation(bs *gf2.Basis, cu, cv gf2.Coin, k1u, k0u, k1v, k0v int) float64 {
+	p1u := cu.ProbOne(bs)
+	p1v := cv.ProbOne(bs)
+	p11 := gf2.ProbBothOne(bs, cu, cv)
+	p00 := 1 - p1u - p1v + p11
+	var e float64
+	if p11 > 0 {
+		// p11 > 0 implies k1u, k1v ≥ 1 (thresholds are 0 otherwise).
+		e += p11 * (1/float64(k1u) + 1/float64(k1v))
+	}
+	if p00 > 0 {
+		// p00 > 0 implies k0u, k0v ≥ 1 (p = 1 coins never show 0).
+		e += p00 * (1/float64(k0u) + 1/float64(k0v))
+	}
+	return e
+}
+
+// countBitOnes returns how many candidate colors have bit bitPos set.
+func countBitOnes(cands []uint32, bitPos int) int {
+	k1 := 0
+	for _, c := range cands {
+		if c&(1<<bitPos) != 0 {
+			k1++
+		}
+	}
+	return k1
+}
+
+// filterByBit keeps the candidates whose bitPos-th bit equals val,
+// filtering in place.
+func filterByBit(cands []uint32, bitPos int, val bool) []uint32 {
+	out := cands[:0]
+	for _, c := range cands {
+		if (c&(1<<bitPos) != 0) == val {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// removeColor deletes color c from the sorted list if present.
+func removeColor(list []uint32, c uint32) []uint32 {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == c {
+		return append(list[:lo], list[lo+1:]...)
+	}
+	return list
+}

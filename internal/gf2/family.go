@@ -1,0 +1,145 @@
+package gf2
+
+import "fmt"
+
+// Family is the k-wise independent hash family of Theorem 2.4 [Vad12]:
+//
+//	h_S(x) = A_{k−1} ⊗ x^{k−1} ⊕ … ⊕ A_1 ⊗ x ⊕ A_0   over GF(2^m),
+//
+// where the seed S packs the k coefficients A_0..A_{k−1} into k·m bits
+// (coefficient j occupies seed bits [j·m, (j+1)·m)). For distinct inputs
+// x_1,…,x_k the values h_S(x_1),…,h_S(x_k) are independent and uniform
+// over GF(2^m) when S is uniform (Vandermonde argument). The paper's
+// algorithms use k = 2 (pairwise independence suffices, Section 1.4).
+//
+// Every output bit of h_S(x) is an affine (here: linear) form over the
+// seed bits, because carry-less multiplication by the constant x^j is
+// GF(2)-linear in A_j. OutputForms materializes those forms; they are the
+// input to the conditional-probability engine.
+type Family struct {
+	f *Field
+	k int
+}
+
+// NewFamily returns the k-wise independent family over GF(2^m).
+// Requires k ≥ 1 and k·m ≤ 128 so that seeds fit in a Vec128.
+func NewFamily(m, k int) (*Family, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gf2: family independence k=%d < 1", k)
+	}
+	if k*m > 128 {
+		return nil, fmt.Errorf("gf2: seed length k·m = %d exceeds 128 bits", k*m)
+	}
+	f, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Family{f: f, k: k}, nil
+}
+
+// MustFamily is NewFamily but panics on error.
+func MustFamily(m, k int) *Family {
+	fam, err := NewFamily(m, k)
+	if err != nil {
+		panic(err)
+	}
+	return fam
+}
+
+// Field returns the underlying field.
+func (fam *Family) Field() *Field { return fam.f }
+
+// K returns the independence parameter.
+func (fam *Family) K() int { return fam.k }
+
+// SeedBits returns the seed length d = k·m in bits.
+func (fam *Family) SeedBits() int { return fam.k * fam.f.m }
+
+// coefficient extracts A_j from the seed.
+func (fam *Family) coefficient(seed Vec128, j int) uint64 {
+	m := fam.f.m
+	start := j * m
+	var out uint64
+	for b := 0; b < m; b++ {
+		if seed.Bit(start + b) {
+			out |= 1 << b
+		}
+	}
+	return out
+}
+
+// Eval evaluates h_S(x) directly (Horner's rule). Used for executing a
+// chosen seed and for cross-checking OutputForms in tests.
+func (fam *Family) Eval(seed Vec128, x uint64) uint64 {
+	acc := uint64(0)
+	for j := fam.k - 1; j >= 0; j-- {
+		acc = fam.f.Mul(acc, x)
+		acc ^= fam.coefficient(seed, j)
+	}
+	return acc
+}
+
+// OutputForms returns the affine forms of the low outBits bits of h_S(x),
+// most significant first: result[0] is bit outBits−1 of h_S(x), and
+// result[outBits−1] is bit 0. Requires 1 ≤ outBits ≤ m.
+//
+// Construction: h_S(x) = Σ_j A_j ⊗ c_j with constants c_j = x^j. Bit t of
+// A_j ⊗ c_j equals the parity over i of A_j[i]·(c_j·y^i mod g)[t], so the
+// mask of output bit t collects, for every coefficient j and every bit i,
+// whether (c_j · y^i mod g) has bit t set.
+func (fam *Family) OutputForms(x uint64, outBits int) []Form {
+	m := fam.f.m
+	if outBits < 1 || outBits > m {
+		panic(fmt.Sprintf("gf2: outBits=%d out of range [1,%d]", outBits, m))
+	}
+	forms := make([]Form, outBits)
+	cj := uint64(1) // x^0
+	for j := 0; j < fam.k; j++ {
+		// col = c_j · y^i mod g for i = 0..m−1; seed bit index j·m+i.
+		col := cj
+		for i := 0; i < m; i++ {
+			for t := 0; t < outBits; t++ {
+				if col&(1<<t) != 0 {
+					idx := outBits - 1 - t // MSB-first position of bit t
+					forms[idx].Mask = forms[idx].Mask.WithBit(j*m+i, true)
+				}
+			}
+			col = fam.f.MulByX(col)
+		}
+		cj = fam.f.Mul(cj, x)
+	}
+	return forms
+}
+
+// WindowForms returns the affine forms of bits [lo, lo+width) of h_S(x),
+// most significant first (result[0] is bit lo+width−1). Windows let one
+// pairwise-independent hash evaluation drive several independent biased
+// coins per node (the multi-bit acceleration of Theorem 1.3): for a
+// uniform field element, disjoint bit windows are independent, and across
+// two nodes the full values are already independent.
+func (fam *Family) WindowForms(x uint64, lo, width int) []Form {
+	m := fam.f.m
+	if lo < 0 || width < 1 || lo+width > m {
+		panic(fmt.Sprintf("gf2: window [%d,%d) out of range for m=%d", lo, lo+width, m))
+	}
+	full := fam.OutputForms(x, m) // full[i] is bit m−1−i
+	forms := make([]Form, width)
+	for i := 0; i < width; i++ {
+		// forms[i] must be bit lo+width−1−i.
+		forms[i] = full[m-1-(lo+width-1-i)]
+	}
+	return forms
+}
+
+// ValueFromForms evaluates MSB-first forms on a seed and packs them into
+// an integer (forms[0] is the most significant bit).
+func ValueFromForms(forms []Form, seed Vec128) uint64 {
+	var v uint64
+	for _, fo := range forms {
+		v <<= 1
+		if fo.Eval(seed) {
+			v |= 1
+		}
+	}
+	return v
+}

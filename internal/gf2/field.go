@@ -1,0 +1,267 @@
+// Package gf2 implements the randomness substrate of the paper's
+// derandomization (Section 2.2):
+//
+//   - arithmetic in the binary fields GF(2^m), m ≤ 63;
+//   - the k-wise independent hash families of Theorem 2.4 [Vad12],
+//     h_S(x) = Σ_{j<k} A_j ⊗ x^j over GF(2^m), with a seed of k·m bits;
+//   - the biased coins of Lemma 2.5, C_v = 1 ⇔ h_S(ψ(v)) mod 2^b < T_v;
+//   - an exact conditional-probability engine: every output bit of h_S(x)
+//     is an affine form over the seed bits, so marginal and joint coin
+//     probabilities under a partially fixed seed reduce to counting points
+//     of affine subspaces of GF(2)^d — computed with echelon bases in
+//     O(b²) word operations instead of 2^d enumeration.
+//
+// The engine is what lets the CONGEST/clique/MPC algorithms evaluate the
+// conditional expectations of Lemma 2.6 exactly (probabilities are dyadic
+// rationals, exactly representable in float64 for every seed length used
+// in this repository).
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Field is the binary field GF(2^m) with a fixed irreducible reduction
+// polynomial x^m + g(x). Elements are the integers 0..2^m−1 interpreted as
+// polynomials over GF(2).
+type Field struct {
+	m   int
+	g   uint64 // low-order bits of the reduction polynomial (without x^m)
+	max uint64 // 2^m − 1
+}
+
+var fieldCache = map[int]*Field{}
+
+// NewField returns GF(2^m) for 1 ≤ m ≤ 63. The reduction polynomial is
+// found by deterministic search (Rabin irreducibility test), so no
+// hard-coded table needs to be trusted; fields are cached per m.
+//
+// NewField is not safe for concurrent first use with the same m; callers
+// construct fields during single-threaded setup.
+func NewField(m int) (*Field, error) {
+	if m < 1 || m > 63 {
+		return nil, fmt.Errorf("gf2: field degree %d out of range [1,63]", m)
+	}
+	if f, ok := fieldCache[m]; ok {
+		return f, nil
+	}
+	g, err := findIrreducible(m)
+	if err != nil {
+		return nil, err
+	}
+	f := &Field{m: m, g: g, max: (uint64(1) << m) - 1}
+	fieldCache[m] = f
+	return f, nil
+}
+
+// MustField is NewField but panics on error (for in-range constant m).
+func MustField(m int) *Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the field degree m.
+func (f *Field) M() int { return f.m }
+
+// Order returns 2^m, the number of field elements.
+func (f *Field) Order() uint64 { return f.max + 1 }
+
+// ReductionPoly returns the low-order bits of the reduction polynomial
+// (the full polynomial is x^m + ReductionPoly()).
+func (f *Field) ReductionPoly() uint64 { return f.g }
+
+// Add returns a + b = a XOR b.
+func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
+
+// clmul returns the 128-bit carry-less product of a and b as (hi, lo).
+func clmul(a, b uint64) (hi, lo uint64) {
+	for b != 0 {
+		shift := bits.TrailingZeros64(b)
+		b &= b - 1
+		lo ^= a << shift
+		if shift > 0 {
+			hi ^= a >> (64 - shift)
+		}
+	}
+	return hi, lo
+}
+
+// reduce reduces the 128-bit polynomial (hi,lo) modulo x^m + g.
+func (f *Field) reduce(hi, lo uint64) uint64 {
+	// Process bits from the top down to degree m.
+	for d := 127; d >= f.m; d-- {
+		var set bool
+		if d >= 64 {
+			set = hi&(1<<(d-64)) != 0
+		} else {
+			set = lo&(1<<d) != 0
+		}
+		if !set {
+			continue
+		}
+		// Subtract (xor) (x^m + g)·x^(d-m): clears bit d, folds g in at d-m.
+		if d >= 64 {
+			hi ^= 1 << (d - 64)
+		} else {
+			lo ^= 1 << d
+		}
+		shift := d - f.m
+		lo ^= f.g << shift
+		if shift > 0 {
+			hi ^= f.g >> (64 - shift)
+		}
+	}
+	return lo & f.max
+}
+
+// Mul returns the field product a ⊗ b.
+func (f *Field) Mul(a, b uint64) uint64 {
+	hi, lo := clmul(a&f.max, b&f.max)
+	return f.reduce(hi, lo)
+}
+
+// MulByX returns a ⊗ x (the generator), a single reduction step.
+func (f *Field) MulByX(a uint64) uint64 {
+	a &= f.max
+	carry := a>>(f.m-1)&1 != 0
+	a = (a << 1) & f.max
+	if carry {
+		a ^= f.g
+	}
+	return a
+}
+
+// Square returns a ⊗ a.
+func (f *Field) Square(a uint64) uint64 { return f.Mul(a, a) }
+
+// Pow returns a^e in the field (a^0 = 1).
+func (f *Field) Pow(a uint64, e uint64) uint64 {
+	result := uint64(1)
+	base := a & f.max
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Square(base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a ≠ 0 via a^(2^m − 2).
+func (f *Field) Inv(a uint64) (uint64, error) {
+	if a&f.max == 0 {
+		return 0, fmt.Errorf("gf2: inverse of zero")
+	}
+	return f.Pow(a, f.max-1), nil
+}
+
+// --- irreducibility search -------------------------------------------------
+
+// polyMulMod multiplies two polynomials of degree < m modulo the degree-m
+// polynomial x^m + g, all over GF(2). Identical to field Mul but usable
+// before a Field exists.
+func polyMulMod(a, b, g uint64, m int) uint64 {
+	hi, lo := clmul(a, b)
+	for d := 127; d >= m; d-- {
+		var set bool
+		if d >= 64 {
+			set = hi&(1<<(d-64)) != 0
+		} else {
+			set = lo&(1<<d) != 0
+		}
+		if !set {
+			continue
+		}
+		if d >= 64 {
+			hi ^= 1 << (d - 64)
+		} else {
+			lo ^= 1 << d
+		}
+		shift := d - m
+		lo ^= g << shift
+		if shift > 0 {
+			hi ^= g >> (64 - shift)
+		}
+	}
+	return lo & ((uint64(1) << m) - 1)
+}
+
+// polyGCD returns gcd of two GF(2) polynomials given as bit masks.
+func polyGCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, polyMod(a, b)
+	}
+	return a
+}
+
+// polyMod returns a mod b for GF(2) polynomials, b ≠ 0.
+func polyMod(a, b uint64) uint64 {
+	db := 63 - bits.LeadingZeros64(b)
+	for {
+		if a == 0 {
+			return 0
+		}
+		da := 63 - bits.LeadingZeros64(a)
+		if da < db {
+			return a
+		}
+		a ^= b << (da - db)
+	}
+}
+
+// isIrreducible applies Rabin's test to x^m + g.
+func isIrreducible(g uint64, m int) bool {
+	// h := x^(2^i) mod (x^m+g), starting from h = x.
+	// Requirement 1: x^(2^m) ≡ x.
+	// Requirement 2: for every prime p | m, gcd(x^(2^(m/p)) − x, x^m+g) = 1.
+	primes := primeFactors(m)
+	full := uint64(1)<<m | g // fits: m ≤ 63
+	h := uint64(2)           // the polynomial x
+	for i := 1; i <= m; i++ {
+		h = polyMulMod(h, h, g, m)
+		for _, p := range primes {
+			if i == m/p {
+				if polyGCD(full, h^2) != 1 {
+					return false
+				}
+			}
+		}
+	}
+	return h == 2
+}
+
+func primeFactors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// findIrreducible returns the smallest g (as an integer) such that
+// x^m + g is irreducible over GF(2).
+func findIrreducible(m int) (uint64, error) {
+	if m == 1 {
+		return 1, nil // x + 1
+	}
+	// The constant term must be 1, else x divides the polynomial.
+	for g := uint64(1); g < uint64(1)<<m; g += 2 {
+		if isIrreducible(g, m) {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("gf2: no irreducible polynomial of degree %d found", m)
+}

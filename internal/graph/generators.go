@@ -1,0 +1,380 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"smallbandwidth/internal/prng"
+)
+
+// Path returns the path graph P_n (diameter n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph on n nodes with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}: nodes 0..a-1 on one side,
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			bld.MustAddEdge(u, v)
+		}
+	}
+	return bld.Build()
+}
+
+// BinaryTree returns the complete-ish binary tree on n nodes with root 0
+// (node i has children 2i+1 and 2i+2 when in range).
+func BinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			b.MustAddEdge(i, l)
+		}
+		if r := 2*i + 2; r < n {
+			b.MustAddEdge(i, r)
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D returns the rows×cols grid graph.
+func Grid2D(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus2D returns the rows×cols torus (grid with wraparound); requires
+// rows, cols ≥ 3 so that no duplicate edges arise.
+func Torus2D(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus2D requires rows, cols >= 3")
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.MustAddEdge(id(r, c), id(r, (c+1)%cols))
+			b.MustAddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube graph on 2^dim nodes.
+func Hypercube(dim int) *Graph {
+	if dim < 0 || dim > 20 {
+		panic("graph: Hypercube dimension out of range")
+	}
+	n := 1 << dim
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			w := v ^ (1 << bit)
+			if w > v {
+				b.MustAddEdge(v, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Circulant returns the circulant graph C_n(offsets): node i is adjacent
+// to i±o (mod n) for each offset o. Duplicate edges (e.g. o = n/2 twice)
+// are skipped. Circulants with spread offsets make decent expanders.
+func Circulant(n int, offsets []int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for _, o := range offsets {
+			j := (i + o) % n
+			if j < 0 {
+				j += n
+			}
+			if i != j && !b.HasEdge(i, j) {
+				b.MustAddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Barbell returns two cliques of size k joined by a path of pathLen extra
+// nodes. Total n = 2k + pathLen. High diameter with high-degree ends —
+// the stress case for D-dependent round bounds.
+func Barbell(k, pathLen int) *Graph {
+	n := 2*k + pathLen
+	b := NewBuilder(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	for u := k; u < 2*k; u++ {
+		for v := u + 1; v < 2*k; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	// Path through nodes 2k .. 2k+pathLen-1 connecting node 0 and node k.
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		b.MustAddEdge(prev, 2*k+i)
+		prev = 2*k + i
+	}
+	b.MustAddEdge(prev, k)
+	return b.Build()
+}
+
+// Caveman returns cliques of size k connected in a ring by single edges
+// (a relaxed caveman graph): clusters clusters of k nodes each.
+func Caveman(clusters, k int) *Graph {
+	if clusters < 2 || k < 2 {
+		panic("graph: Caveman requires clusters >= 2, k >= 2")
+	}
+	n := clusters * k
+	b := NewBuilder(n)
+	for c := 0; c < clusters; c++ {
+		base := c * k
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				b.MustAddEdge(base+u, base+v)
+			}
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		u := c*k + k - 1
+		v := ((c + 1) % clusters) * k
+		if !b.HasEdge(u, v) {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n,p) graph drawn deterministically from
+// seed.
+func GNP(n int, p float64, seed uint64) *Graph {
+	src := prng.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n nodes via the
+// configuration model with restarts (n·d must be even, d < n). The result
+// is simple (no loops or multi-edges) and drawn deterministically from
+// seed.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular requires d < n (got d=%d n=%d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular requires n*d even (got n=%d d=%d)", n, d)
+	}
+	src := prng.New(seed)
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		type pair struct{ u, v int }
+		edges := make([]pair, 0, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			edges = append(edges, pair{stubs[i], stubs[i+1]})
+		}
+		// Repair self-loops and duplicates by double-edge swaps instead of
+		// restarting: swap a bad pair with a random good one; each swap
+		// preserves all degrees.
+		key := func(u, v int) uint64 { return edgeKey(u, v) }
+		count := map[uint64]int{}
+		isBad := func(p pair) bool { return p.u == p.v || count[key(p.u, p.v)] > 1 }
+		for _, p := range edges {
+			if p.u != p.v {
+				count[key(p.u, p.v)]++
+			}
+		}
+		ok := true
+		for budget := 40 * len(edges); ; budget-- {
+			badIdx := -1
+			for i, p := range edges {
+				if isBad(p) {
+					badIdx = i
+					break
+				}
+			}
+			if badIdx == -1 {
+				break
+			}
+			if budget <= 0 {
+				ok = false
+				break
+			}
+			j := src.Intn(len(edges))
+			if j == badIdx {
+				continue
+			}
+			a, b := edges[badIdx], edges[j]
+			// Swap endpoints: (a.u,a.v),(b.u,b.v) → (a.u,b.v),(b.u,a.v).
+			na, nb := pair{a.u, b.v}, pair{b.u, a.v}
+			if na.u == na.v || nb.u == nb.v ||
+				count[key(na.u, na.v)] > 0 || count[key(nb.u, nb.v)] > 0 {
+				continue
+			}
+			if a.u != a.v {
+				count[key(a.u, a.v)]--
+			}
+			if b.u != b.v {
+				count[key(b.u, b.v)]--
+			}
+			count[key(na.u, na.v)]++
+			count[key(nb.u, nb.v)]++
+			edges[badIdx], edges[j] = na, nb
+		}
+		if !ok {
+			continue
+		}
+		b := NewBuilder(n)
+		valid := true
+		for _, p := range edges {
+			if err := b.AddEdge(p.u, p.v); err != nil {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			return b.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d,d=%d) failed after %d attempts", n, d, maxAttempts)
+}
+
+// MustRandomRegular is RandomRegular but panics on error; for use in
+// examples and benchmarks with known-good parameters.
+func MustRandomRegular(n, d int, seed uint64) *Graph {
+	g, err := RandomRegular(n, d, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomGeometric places n points uniformly in the unit square
+// (deterministically from seed) and connects pairs within distance
+// radius — the standard model for wireless interference graphs.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
+	src := prng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			if dx*dx+dy*dy <= r2 {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ChungLu returns a Chung–Lu random graph with the given expected-degree
+// weights: edge {u,v} appears with probability min(1, w_u·w_v / Σw).
+func ChungLu(weights []float64, seed uint64) *Graph {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	src := prng.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := weights[u] * weights[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if src.Float64() < p {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawWeights returns n weights w_i = c·(i+1)^(-1/(β-1)) scaled so the
+// average is avgDeg; for use with ChungLu to get heavy-tailed degrees.
+func PowerLawWeights(n int, beta, avgDeg float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -1/(beta-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}

@@ -1,0 +1,183 @@
+// Package graph provides the undirected-graph substrate shared by every
+// model simulator in this repository: adjacency structures, deterministic
+// workload generators, structural properties (degree, diameter, BFS), and
+// validation helpers for colorings and list-coloring instances.
+//
+// Nodes are identified by dense integers 0..N-1. Graphs are immutable after
+// construction through a Builder; all algorithm packages treat *Graph as
+// read-only, which makes it safe to share one instance across the
+// goroutine-per-node CONGEST simulator without locking.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph with nodes 0..N-1.
+//
+// Adj[v] is the sorted adjacency list of v. Graphs are constructed via
+// Builder (or a generator) and must not be mutated afterwards.
+type Graph struct {
+	n   int
+	adj [][]int32
+	m   int // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether {u,v} is an edge, via binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// Edges calls fn once per undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are rejected at AddEdge time.
+type Builder struct {
+	n    int
+	seen map[uint64]struct{}
+	us   []int32
+	vs   []int32
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, seen: make(map[uint64]struct{})}
+}
+
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// HasEdge reports whether the builder already contains edge {u,v}.
+func (b *Builder) HasEdge(u, v int) bool {
+	_, ok := b.seen[edgeKey(u, v)]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u,v}. It returns an error for
+// out-of-range endpoints, self-loops, and duplicates.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	k := edgeKey(u, v)
+	if _, dup := b.seen[k]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	b.seen[k] = struct{}{}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; for generators whose edge
+// streams are valid by construction.
+func (b *Builder) MustAddEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalizes the graph. The builder may not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	deg := make([]int, b.n)
+	for i := range b.us {
+		deg[b.us[i]]++
+		deg[b.vs[i]]++
+	}
+	adj := make([][]int32, b.n)
+	for v := 0; v < b.n; v++ {
+		adj[v] = make([]int32, 0, deg[v])
+	}
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := 0; v < b.n; v++ {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	}
+	g := &Graph{n: b.n, adj: adj, m: len(b.us)}
+	b.seen = nil
+	return g
+}
+
+// FromEdges builds a graph from an explicit edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given node set
+// together with the mapping from new IDs to original IDs. The i-th node of
+// the subgraph corresponds to nodes[i] (deduplicated, in given order).
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	index := make(map[int]int, len(nodes))
+	orig := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			index[v] = len(orig)
+			orig = append(orig, v)
+		}
+	}
+	b := NewBuilder(len(orig))
+	for newU, u := range orig {
+		for _, w := range g.adj[u] {
+			newW, ok := index[int(w)]
+			if ok && newW > newU {
+				b.MustAddEdge(newU, newW)
+			}
+		}
+	}
+	return b.Build(), orig
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"fmt"
+
+	"smallbandwidth/internal/prng"
+)
+
+// Instance is a (degree+1)-list-coloring instance: a graph, a color space
+// [C] = {0,…,C−1}, and per-node color lists L(v) ⊆ [C] with
+// |L(v)| ≥ deg(v)+1. Lists are sorted ascending and duplicate-free.
+//
+// This is the common input type of every coloring algorithm in the
+// repository (CONGEST, congested clique, and MPC).
+type Instance struct {
+	G     *Graph
+	C     uint32     // color space size; colors are in [0, C)
+	Lists [][]uint32 // Lists[v] sorted ascending, no duplicates
+}
+
+// Validate checks the structural invariants of the instance: list sizes,
+// sortedness, duplicate-freeness, and color-space membership.
+func (inst *Instance) Validate() error {
+	if inst.G == nil {
+		return fmt.Errorf("instance: nil graph")
+	}
+	if len(inst.Lists) != inst.G.N() {
+		return fmt.Errorf("instance: %d lists for %d nodes", len(inst.Lists), inst.G.N())
+	}
+	if inst.C == 0 {
+		return fmt.Errorf("instance: empty color space")
+	}
+	for v, list := range inst.Lists {
+		if len(list) < inst.G.Degree(v)+1 {
+			return fmt.Errorf("instance: node %d has list size %d < deg+1 = %d",
+				v, len(list), inst.G.Degree(v)+1)
+		}
+		for i, c := range list {
+			if c >= inst.C {
+				return fmt.Errorf("instance: node %d color %d outside color space [0,%d)", v, c, inst.C)
+			}
+			if i > 0 && list[i-1] >= c {
+				return fmt.Errorf("instance: node %d list not strictly sorted at index %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyColoring checks that colors is a proper list coloring of the
+// instance: every node has a color from its own list and no edge is
+// monochromatic.
+func (inst *Instance) VerifyColoring(colors []uint32) error {
+	if len(colors) != inst.G.N() {
+		return fmt.Errorf("coloring: %d colors for %d nodes", len(colors), inst.G.N())
+	}
+	for v, c := range colors {
+		if !containsColor(inst.Lists[v], c) {
+			return fmt.Errorf("coloring: node %d assigned color %d not in its list", v, c)
+		}
+	}
+	var conflict error
+	inst.G.Edges(func(u, v int) {
+		if conflict == nil && colors[u] == colors[v] {
+			conflict = fmt.Errorf("coloring: edge (%d,%d) monochromatic with color %d", u, v, colors[u])
+		}
+	})
+	return conflict
+}
+
+func containsColor(list []uint32, c uint32) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == c
+}
+
+// DeltaPlusOneInstance builds the classic (Δ+1)-coloring instance: color
+// space [Δ+1] and every node's list is {0,…,deg(v)} (the reduction of
+// Observation 4.1: the first deg(v)+1 colors).
+func DeltaPlusOneInstance(g *Graph) *Instance {
+	c := uint32(g.MaxDegree() + 1)
+	lists := make([][]uint32, g.N())
+	for v := range lists {
+		l := make([]uint32, g.Degree(v)+1)
+		for i := range l {
+			l[i] = uint32(i)
+		}
+		lists[v] = l
+	}
+	return &Instance{G: g, C: c, Lists: lists}
+}
+
+// RandomListInstance builds a (degree+1)-list instance where each node's
+// list is a uniformly random (deg(v)+1+slack)-subset of [C], drawn
+// deterministically from seed. C must be at least Δ+1+slack.
+func RandomListInstance(g *Graph, c uint32, slack int, seed uint64) (*Instance, error) {
+	if int(c) < g.MaxDegree()+1+slack {
+		return nil, fmt.Errorf("instance: color space %d too small for Δ+1+slack = %d",
+			c, g.MaxDegree()+1+slack)
+	}
+	src := prng.New(seed)
+	lists := make([][]uint32, g.N())
+	for v := range lists {
+		k := g.Degree(v) + 1 + slack
+		lists[v] = randomSubset(src, c, k)
+	}
+	inst := &Instance{G: g, C: c, Lists: lists}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// randomSubset returns a sorted uniform k-subset of [0,c) via Floyd's
+// algorithm.
+func randomSubset(src *prng.Source, c uint32, k int) []uint32 {
+	chosen := make(map[uint32]struct{}, k)
+	for j := int(c) - k; j < int(c); j++ {
+		t := uint32(src.Intn(j + 1))
+		if _, ok := chosen[t]; ok {
+			chosen[uint32(j)] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sortUint32(out)
+	return out
+}
+
+func sortUint32(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// ShiftedListInstance builds an adversarial instance where node v's list
+// is the contiguous window {v·stride, …, v·stride+deg(v)} mod C, forcing
+// heavy list overlap between neighbors for small stride and near-disjoint
+// lists for large stride.
+func ShiftedListInstance(g *Graph, c uint32, stride int) (*Instance, error) {
+	lists := make([][]uint32, g.N())
+	for v := range lists {
+		k := g.Degree(v) + 1
+		if int(c) < k {
+			return nil, fmt.Errorf("instance: color space %d smaller than deg+1 = %d at node %d", c, k, v)
+		}
+		l := make([]uint32, k)
+		base := uint32(v*stride) % c
+		for i := range l {
+			l[i] = (base + uint32(i)) % c
+		}
+		sortUint32(l)
+		// The window can wrap and collide only if k > C, excluded above.
+		lists[v] = l
+	}
+	inst := &Instance{G: g, C: c, Lists: lists}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Greedy colors the instance sequentially in node order, always picking
+// the smallest available list color. It is the correctness oracle and the
+// sequential baseline: it always succeeds on valid (degree+1)-list
+// instances.
+func (inst *Instance) Greedy() []uint32 {
+	colors := make([]uint32, inst.G.N())
+	assigned := make([]bool, inst.G.N())
+	for v := 0; v < inst.G.N(); v++ {
+		taken := make(map[uint32]struct{})
+		for _, w := range inst.G.Neighbors(v) {
+			if assigned[w] {
+				taken[colors[w]] = struct{}{}
+			}
+		}
+		found := false
+		for _, c := range inst.Lists[v] {
+			if _, bad := taken[c]; !bad {
+				colors[v] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Impossible on valid instances: |L(v)| ≥ deg(v)+1.
+			panic("graph: greedy failed on a valid (degree+1)-list instance")
+		}
+		assigned[v] = true
+	}
+	return colors
+}

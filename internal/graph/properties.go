@@ -1,0 +1,178 @@
+package graph
+
+// BFS runs a breadth-first search from source and returns (dist, parent).
+// Unreachable nodes have dist = -1 and parent = -1. Ties between potential
+// parents are broken toward the smallest node ID so that the traversal is
+// deterministic.
+func (g *Graph) BFS(source int) (dist, parent []int) {
+	dist = make([]int, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[source] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(source))
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Eccentricity returns the maximum BFS distance from v to any reachable
+// node.
+func (g *Graph) Eccentricity(v int) int {
+	dist, _ := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter of the graph by running a BFS from
+// every node. It returns -1 for disconnected graphs and 0 for graphs with
+// fewer than two nodes. Intended for laptop-scale experiment graphs.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		dist, _ := g.BFS(v)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted ascending, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		members := []int{s}
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := int(queue[0])
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = id
+					members = append(members, int(w))
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	for _, c := range comps {
+		sortInts(c)
+	}
+	return comps
+}
+
+func sortInts(a []int) {
+	// insertion sort; component lists are produced nearly sorted by BFS.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Degeneracy returns the degeneracy of the graph (the smallest d such that
+// every subgraph has a node of degree ≤ d), computed by iterated minimum-
+// degree removal.
+func (g *Graph) Degeneracy() int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	for v := range deg {
+		deg[v] = len(g.adj[v])
+	}
+	degeneracy := 0
+	for iter := 0; iter < g.n; iter++ {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < g.n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > degeneracy {
+			degeneracy = bestDeg
+		}
+		removed[best] = true
+		for _, w := range g.adj[best] {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return degeneracy
+}
+
+// IsProperColoring reports whether colors (one entry per node) assigns
+// different values to every pair of adjacent nodes.
+func (g *Graph) IsProperColoring(colors []uint32) bool {
+	if len(colors) != g.n {
+		return false
+	}
+	proper := true
+	g.Edges(func(u, v int) {
+		if colors[u] == colors[v] {
+			proper = false
+		}
+	})
+	return proper
+}
+
+// CountConflicts returns the number of monochromatic edges under colors.
+func (g *Graph) CountConflicts(colors []uint32) int {
+	conflicts := 0
+	g.Edges(func(u, v int) {
+		if colors[u] == colors[v] {
+			conflicts++
+		}
+	})
+	return conflicts
+}

@@ -1,0 +1,125 @@
+// Package mis provides maximal-independent-set primitives. The paper's
+// Lemma 2.1 computes an MIS on the constant-degree graph of conflicting
+// candidate colors by iterating through the classes of a proper coloring;
+// this package contains the color-class construction, validation helpers,
+// and Luby's randomized MIS as a baseline.
+package mis
+
+import (
+	"fmt"
+
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/prng"
+)
+
+// FromColoring computes the MIS obtained by scanning the color classes of
+// a proper coloring in increasing order: a node joins when no neighbor
+// has joined yet. In a distributed implementation each class costs one
+// round, so the construction takes K rounds on a K-colored graph.
+// It panics if the coloring is not proper (adjacent equal colors would
+// make the scan order ambiguous).
+func FromColoring(g *graph.Graph, colors []uint64, k uint64) []bool {
+	inMIS := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for c := uint64(0); c < k; c++ {
+		for v := 0; v < g.N(); v++ {
+			if colors[v] != c || blocked[v] {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if colors[w] == colors[v] {
+					panic(fmt.Sprintf("mis: improper coloring, edge (%d,%d) shares color %d", v, w, colors[v]))
+				}
+			}
+			inMIS[v] = true
+			for _, w := range g.Neighbors(v) {
+				blocked[w] = true
+			}
+		}
+	}
+	return inMIS
+}
+
+// Luby computes an MIS with Luby's randomized algorithm (each round every
+// live node draws a random priority; local maxima join). Deterministic in
+// the given seed; used as the randomized baseline.
+func Luby(g *graph.Graph, seed uint64) []bool {
+	src := prng.New(seed)
+	n := g.N()
+	inMIS := make([]bool, n)
+	live := make([]bool, n)
+	for v := range live {
+		live[v] = true
+	}
+	remaining := n
+	for remaining > 0 {
+		prio := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			if live[v] {
+				prio[v] = src.Uint64()
+			}
+		}
+		var joined []int
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			maxLocal := true
+			for _, w := range g.Neighbors(v) {
+				if live[w] && (prio[w] > prio[v] || (prio[w] == prio[v] && int(w) > v)) {
+					maxLocal = false
+					break
+				}
+			}
+			if maxLocal {
+				joined = append(joined, v)
+			}
+		}
+		for _, v := range joined {
+			inMIS[v] = true
+			if live[v] {
+				live[v] = false
+				remaining--
+			}
+			for _, w := range g.Neighbors(v) {
+				if live[w] {
+					live[w] = false
+					remaining--
+				}
+			}
+		}
+	}
+	return inMIS
+}
+
+// Verify checks independence and maximality of set on g.
+func Verify(g *graph.Graph, set []bool) error {
+	if len(set) != g.N() {
+		return fmt.Errorf("mis: set length %d for %d nodes", len(set), g.N())
+	}
+	var err error
+	g.Edges(func(u, v int) {
+		if err == nil && set[u] && set[v] {
+			err = fmt.Errorf("mis: adjacent nodes %d,%d both in set", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if set[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if set[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("mis: node %d neither in set nor dominated", v)
+		}
+	}
+	return nil
+}

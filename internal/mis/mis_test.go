@@ -1,0 +1,117 @@
+package mis
+
+import (
+	"testing"
+
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/linial"
+)
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":    graph.Path(17),
+		"cycle":   graph.Cycle(12),
+		"grid":    graph.Grid2D(5, 6),
+		"star":    graph.Star(9),
+		"regular": graph.MustRandomRegular(40, 5, 11),
+		"gnp":     graph.GNP(35, 0.2, 4),
+		"clique":  graph.Complete(9),
+		"single":  graph.Path(1),
+	}
+}
+
+func TestFromColoringValidMIS(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			colors, k, err := linial.ColorGraph(adjOf(g), g.MaxDegree())
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := FromColoring(g, colors, k)
+			if err := Verify(g, set); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFromColoringSizeBoundedDegree(t *testing.T) {
+	// On a graph with max degree d, any MIS has size ≥ n/(d+1).
+	g := graph.MustRandomRegular(60, 3, 5)
+	colors, k, err := linial.ColorGraph(adjOf(g), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := FromColoring(g, colors, k)
+	size := 0
+	for _, in := range set {
+		if in {
+			size++
+		}
+	}
+	if size < g.N()/4 {
+		t.Errorf("MIS size %d < n/(Δ+1) = %d", size, g.N()/4)
+	}
+}
+
+func TestFromColoringPanicsOnImproper(t *testing.T) {
+	g := graph.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("improper coloring not detected")
+		}
+	}()
+	FromColoring(g, []uint64{0, 0, 1}, 2)
+}
+
+func TestLubyValidMIS(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				set := Luby(g, seed)
+				if err := Verify(g, set); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestLubyDeterministicInSeed(t *testing.T) {
+	g := graph.GNP(30, 0.3, 1)
+	a := Luby(g, 42)
+	b := Luby(g, 42)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("Luby not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := graph.Path(4)
+	// Adjacent members.
+	if Verify(g, []bool{true, true, false, true}) == nil {
+		t.Error("dependence not caught")
+	}
+	// Not maximal: node 1's set = {}; nothing dominates node 0.
+	if Verify(g, []bool{false, false, false, true}) == nil {
+		t.Error("non-maximality not caught")
+	}
+	// Wrong length.
+	if Verify(g, []bool{true}) == nil {
+		t.Error("length mismatch not caught")
+	}
+	// A valid MIS passes.
+	if err := Verify(g, []bool{true, false, true, false}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+}
+
+func adjOf(g *graph.Graph) [][]int32 {
+	adj := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		adj[v] = g.Neighbors(v)
+	}
+	return adj
+}

@@ -1,0 +1,113 @@
+// Package mpc simulates the Massively Parallel Computation model
+// [KSV10, ANOY14] and implements the paper's Section 4 and Section 5:
+// deterministic (degree+1)-list coloring with linear memory
+// (Theorem 1.4) and sublinear memory (Theorem 1.5), the (Δ+1)→list
+// reduction (Observation 4.1), the MIS-avoidance finish, and the
+// constant-round basic tools of Lemma 5.1 (sorting, prefix sums, set
+// difference, aggregation trees).
+//
+// The Runtime enforces the model's resource constraints: every machine
+// has S words of memory; in one round a machine's sent plus received
+// words may not exceed S; local computation is free. The coloring
+// algorithms keep per-node protocol state centrally for speed but derive
+// every memory/IO figure they charge from the real data sizes placed on
+// each machine, so a configuration that would overflow a machine fails
+// loudly (see DESIGN.md for this cost-model discussion); the Section 5
+// tools move real records between real machine buffers.
+package mpc
+
+import "fmt"
+
+// Runtime tracks rounds and enforces per-machine memory and IO.
+type Runtime struct {
+	S int // words of memory per machine
+	M int // number of machines
+
+	Rounds          int
+	HighWaterMemory int
+	HighWaterIO     int
+}
+
+// NewRuntime builds a runtime with M machines of S words each.
+func NewRuntime(m, s int) (*Runtime, error) {
+	if m < 1 || s < 4 {
+		return nil, fmt.Errorf("mpc: invalid runtime (M=%d, S=%d)", m, s)
+	}
+	return &Runtime{S: s, M: m}, nil
+}
+
+// CheckMemory verifies that every machine's resident words fit in S.
+func (rt *Runtime) CheckMemory(loads []int) error {
+	for i, l := range loads {
+		if l > rt.S {
+			return fmt.Errorf("mpc: machine %d holds %d words > S = %d", i, l, rt.S)
+		}
+		if l > rt.HighWaterMemory {
+			rt.HighWaterMemory = l
+		}
+	}
+	return nil
+}
+
+// ChargeRound accounts one communication round in which machine i sends
+// plus receives io[i] words.
+func (rt *Runtime) ChargeRound(io []int) error {
+	rt.Rounds++
+	for i, l := range io {
+		if l > rt.S {
+			return fmt.Errorf("mpc: machine %d moved %d words > S = %d in one round", i, l, rt.S)
+		}
+		if l > rt.HighWaterIO {
+			rt.HighWaterIO = l
+		}
+	}
+	return nil
+}
+
+// ChargeRounds accounts k uniform rounds with the same per-machine IO.
+func (rt *Runtime) ChargeRounds(k int, io []int) error {
+	for i := 0; i < k; i++ {
+		if err := rt.ChargeRound(io); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AggDepth returns the depth of a √S-ary aggregation tree over all M
+// machines (Definition 5.4): the constant number of rounds a tree-wide
+// aggregate or broadcast costs.
+func (rt *Runtime) AggDepth() int {
+	fan := isqrt(rt.S)
+	if fan < 2 {
+		fan = 2
+	}
+	depth := 0
+	for span := 1; span < rt.M; span *= fan {
+		depth++
+	}
+	if depth == 0 {
+		depth = 1
+	}
+	return depth
+}
+
+// UniformIO returns an IO vector with the same load on every machine.
+func (rt *Runtime) UniformIO(words int) []int {
+	io := make([]int, rt.M)
+	for i := range io {
+		io[i] = words
+	}
+	return io
+}
+
+func isqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,292 @@
+package mpc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rec is the record type moved by the Section 5 tools: a lexicographically
+// ordered triple of words (e.g. (u,v,·) for directed edges, (u,c,·) for
+// list entries, (i,a,tag) for tagged set elements).
+type Rec [3]uint64
+
+func recLess(a, b Rec) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// Dist is a distributed collection of records: Parts[i] lives on machine
+// i. The tools redistribute records between parts while charging the
+// runtime for every round and checking every machine's load.
+type Dist struct {
+	Parts [][]Rec
+}
+
+// NewDist distributes records round-robin over the runtime's machines
+// (an arbitrary initial placement, as the model allows adversarial
+// placement).
+func NewDist(rt *Runtime, recs []Rec) (*Dist, error) {
+	d := &Dist{Parts: make([][]Rec, rt.M)}
+	for i, r := range recs {
+		m := i % rt.M
+		d.Parts[m] = append(d.Parts[m], r)
+	}
+	if err := rt.CheckMemory(d.loads()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dist) loads() []int {
+	l := make([]int, len(d.Parts))
+	for i, p := range d.Parts {
+		l[i] = 3 * len(p)
+	}
+	return l
+}
+
+// Len returns the total number of records.
+func (d *Dist) Len() int {
+	n := 0
+	for _, p := range d.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// All returns all records in machine order (test/inspection helper; a
+// real MPC algorithm would never gather like this).
+func (d *Dist) All() []Rec {
+	var out []Rec
+	for _, p := range d.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Sort sorts the distributed records lexicographically (Definition 5.1)
+// with deterministic regular sampling (PSRS), the constant-round
+// BSP/MapReduce sorting of [GSZ11, Goo99]: local sort, M−1 regular
+// samples per machine to machine 0, splitter broadcast, bucket
+// redistribution, local merge. Requires M² samples and the buckets to
+// fit in S, which holds in the model's parameter regime.
+func (d *Dist) Sort(rt *Runtime) error {
+	m := rt.M
+	for _, p := range d.Parts {
+		sort.Slice(p, func(i, j int) bool { return recLess(p[i], p[j]) })
+	}
+	// Regular samples to machine 0.
+	var samples []Rec
+	ioSample := make([]int, m)
+	for i, p := range d.Parts {
+		take := m - 1
+		for s := 1; s <= take; s++ {
+			idx := s * len(p) / (take + 1)
+			if idx < len(p) {
+				samples = append(samples, p[idx])
+				ioSample[i] += 3
+				ioSample[0] += 3
+			}
+		}
+	}
+	if err := rt.ChargeRound(ioSample); err != nil {
+		return err
+	}
+	if 3*len(samples) > rt.S {
+		return fmt.Errorf("mpc: %d sort samples exceed S = %d at machine 0", len(samples), rt.S)
+	}
+	sort.Slice(samples, func(i, j int) bool { return recLess(samples[i], samples[j]) })
+	splitters := make([]Rec, 0, m-1)
+	for s := 1; s < m; s++ {
+		idx := s * len(samples) / m
+		if idx < len(samples) {
+			splitters = append(splitters, samples[idx])
+		}
+	}
+	// Broadcast splitters (1 round).
+	if err := rt.ChargeRound(rt.UniformIO(3 * len(splitters))); err != nil {
+		return err
+	}
+	// Redistribute into buckets (1 round).
+	buckets := make([][]Rec, m)
+	ioRedist := make([]int, m)
+	for i, p := range d.Parts {
+		for _, r := range p {
+			b := sort.Search(len(splitters), func(j int) bool { return recLess(r, splitters[j]) })
+			buckets[b] = append(buckets[b], r)
+			ioRedist[i] += 3
+			ioRedist[b] += 3
+		}
+	}
+	if err := rt.ChargeRound(ioRedist); err != nil {
+		return err
+	}
+	for b := range buckets {
+		sort.Slice(buckets[b], func(i, j int) bool { return recLess(buckets[b][i], buckets[b][j]) })
+	}
+	d.Parts = buckets
+	return rt.CheckMemory(d.loads())
+}
+
+// IsSorted reports whether the records are globally sorted across the
+// machine order.
+func (d *Dist) IsSorted() bool {
+	var prev *Rec
+	for _, p := range d.Parts {
+		for i := range p {
+			if prev != nil && recLess(p[i], *prev) {
+				return false
+			}
+			prev = &p[i]
+		}
+	}
+	return true
+}
+
+// PrefixSums solves the prefix-sums problem of Definition 5.2 on the
+// sorted collection with an associative operation over word 2 of the
+// records: afterwards record j's word 2 holds op(x_1,…,x_j). Constant
+// rounds: local partials, machine-0 scan of M values, offset broadcast.
+func (d *Dist) PrefixSums(rt *Runtime, op func(a, b uint64) uint64, identity uint64) error {
+	m := rt.M
+	partials := make([]uint64, m)
+	for i, p := range d.Parts {
+		acc := identity
+		for _, r := range p {
+			acc = op(acc, r[2])
+		}
+		partials[i] = acc
+	}
+	// Partials to machine 0 and offsets back: 2 rounds of M words.
+	if 3*m > rt.S {
+		return fmt.Errorf("mpc: %d machine partials exceed S", m)
+	}
+	if err := rt.ChargeRounds(2, rt.UniformIO(3)); err != nil {
+		return err
+	}
+	offsets := make([]uint64, m)
+	acc := identity
+	for i := 0; i < m; i++ {
+		offsets[i] = acc
+		acc = op(acc, partials[i])
+	}
+	for i, p := range d.Parts {
+		run := offsets[i]
+		for j := range p {
+			run = op(run, p[j][2])
+			p[j][2] = run
+		}
+	}
+	return nil
+}
+
+// GroupRanks assumes the collection is sorted by key (word 0) and fills
+// word 2 of every record with its 0-based rank within its key group
+// (Corollary 5.2). Constant rounds: boundary records travel one machine
+// forward.
+func (d *Dist) GroupRanks(rt *Runtime) error {
+	// One boundary record per machine moves forward: 1 round.
+	if err := rt.ChargeRound(rt.UniformIO(3)); err != nil {
+		return err
+	}
+	var carryKey uint64
+	carryCount := uint64(0)
+	started := false
+	for _, p := range d.Parts {
+		for j := range p {
+			if !started || p[j][0] != carryKey {
+				carryKey = p[j][0]
+				carryCount = 0
+				started = true
+			}
+			p[j][2] = carryCount
+			carryCount++
+		}
+	}
+	return nil
+}
+
+// GroupSizes assumes sorting by key (word 0) and returns the size of
+// each key's group delivered to every record's machine via the
+// aggregation-tree structure (Definition 5.4): word 2 of each record is
+// set to its group's size. Constant rounds.
+func (d *Dist) GroupSizes(rt *Runtime) error {
+	if err := d.GroupRanks(rt); err != nil {
+		return err
+	}
+	// Reverse ranks via a backward boundary pass (1 round), then size =
+	// rank + reverse rank + 1, entirely local.
+	if err := rt.ChargeRound(rt.UniformIO(3)); err != nil {
+		return err
+	}
+	sizes := map[uint64]uint64{}
+	for _, p := range d.Parts {
+		for _, r := range p {
+			if r[2]+1 > sizes[r[0]] {
+				sizes[r[0]] = r[2] + 1
+			}
+		}
+	}
+	// Deliver group sizes down the trees (depth rounds).
+	if err := rt.ChargeRounds(rt.AggDepth(), rt.UniformIO(3)); err != nil {
+		return err
+	}
+	for _, p := range d.Parts {
+		for j := range p {
+			p[j][2] = sizes[p[j][0]]
+		}
+	}
+	return nil
+}
+
+// SetDifference solves Definition 5.3: given sets A_i (records (i,a))
+// and multisets B_i (records (i,b)), it returns for every A-record
+// whether its value appears in B_i. Implemented by sorting the tagged
+// union (B-tags sort before A-tags within an equal (i,a)) and a
+// boundary-carrying scan — constant rounds.
+func SetDifference(rt *Runtime, a, b []Rec) (map[Rec]bool, error) {
+	const tagB, tagA = 0, 1
+	var tagged []Rec
+	for _, r := range b {
+		tagged = append(tagged, Rec{r[0], r[1], tagB})
+	}
+	for _, r := range a {
+		tagged = append(tagged, Rec{r[0], r[1], tagA})
+	}
+	d, err := NewDist(rt, tagged)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Sort(rt); err != nil {
+		return nil, err
+	}
+	// Boundary scan: last (i,a,sawB) of each machine moves forward.
+	if err := rt.ChargeRound(rt.UniformIO(3)); err != nil {
+		return nil, err
+	}
+	result := map[Rec]bool{}
+	var curKey Rec
+	sawB := false
+	started := false
+	for _, p := range d.Parts {
+		for _, r := range p {
+			k := Rec{r[0], r[1], 0}
+			if !started || k != curKey {
+				curKey = k
+				sawB = false
+				started = true
+			}
+			if r[2] == tagB {
+				sawB = true
+			} else {
+				result[Rec{r[0], r[1], 0}] = sawB
+			}
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,132 @@
+package netdecomp
+
+import (
+	"fmt"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+)
+
+// DecompResult is the outcome of the Corollary 1.2 pipeline.
+type DecompResult struct {
+	Colors []uint32
+	Decomp *Decomposition
+	// ChargedRounds follows the paper's accounting: decomposition
+	// construction + per color class the maximum cluster coloring rounds
+	// multiplied by the measured congestion κ (same-color cluster trees
+	// sharing an edge pipeline their messages), plus one global exchange
+	// round between classes.
+	ChargedRounds int
+	// ClassRounds[c] is the max rounds over the clusters of class c+1.
+	ClassRounds []int
+	Messages    int64
+}
+
+// ListColorDecomposed solves the (degree+1)-list-coloring instance with
+// the Corollary 1.2 pipeline: build an (O(log n), O(log³n))-network
+// decomposition with congestion (Theorem 3.1 [RG19]), then iterate
+// through its color classes and apply the Theorem 1.1 algorithm to all
+// clusters of one class in parallel, updating lists between classes.
+// Unlike Theorem 1.1 its cost is polylog(n) independent of the diameter.
+func ListColorDecomposed(inst *graph.Instance, opts core.Options) (*DecompResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := Build(inst.G)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("netdecomp: decomposition invalid: %w", err)
+	}
+
+	n := inst.G.N()
+	colors := make([]uint32, n)
+	colored := make([]bool, n)
+	// Working copy of the lists; colors taken by earlier classes are
+	// removed before a node's own class runs.
+	lists := make([][]uint32, n)
+	for v := range lists {
+		lists[v] = append([]uint32(nil), inst.Lists[v]...)
+	}
+
+	res := &DecompResult{Decomp: d, ChargedRounds: d.ChargedRound}
+	kappa := d.Congestion
+	if kappa < 1 {
+		kappa = 1
+	}
+
+	for class := 1; class <= d.Colors; class++ {
+		classMax := 0
+		for _, c := range d.Clusters {
+			if c.Color != class {
+				continue
+			}
+			sub, orig := inst.G.InducedSubgraph(c.Members)
+			subLists := make([][]uint32, sub.N())
+			for i, v := range orig {
+				subLists[i] = lists[v]
+			}
+			subInst := &graph.Instance{G: sub, C: inst.C, Lists: subLists}
+			if err := subInst.Validate(); err != nil {
+				return nil, fmt.Errorf("netdecomp: class %d cluster instance invalid: %w", class, err)
+			}
+			r, err := core.ListColorComponents(subInst, opts)
+			if err != nil {
+				return nil, fmt.Errorf("netdecomp: class %d cluster failed: %w", class, err)
+			}
+			if !r.Done {
+				return nil, fmt.Errorf("netdecomp: class %d cluster did not finish", class)
+			}
+			for i, v := range orig {
+				colors[v] = r.Colors[i]
+				colored[v] = true
+			}
+			if r.Stats.Rounds > classMax {
+				classMax = r.Stats.Rounds
+			}
+			res.Messages += r.Stats.Messages
+		}
+		res.ClassRounds = append(res.ClassRounds, classMax)
+		res.ChargedRounds += classMax*kappa + 1
+
+		// Global exchange: uncolored nodes remove the colors just taken
+		// by colored neighbors.
+		for v := 0; v < n; v++ {
+			if colored[v] {
+				continue
+			}
+			for _, w := range inst.G.Neighbors(v) {
+				if colored[w] && d.Clusters[d.ClusterOf[int(w)]].Color == class {
+					lists[v] = removeColor(lists[v], colors[w])
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !colored[v] {
+			return nil, fmt.Errorf("netdecomp: node %d left uncolored", v)
+		}
+	}
+	if err := inst.VerifyColoring(colors); err != nil {
+		return nil, fmt.Errorf("netdecomp: coloring invalid: %w", err)
+	}
+	res.Colors = colors
+	return res, nil
+}
+
+func removeColor(list []uint32, c uint32) []uint32 {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == c {
+		return append(list[:lo], list[lo+1:]...)
+	}
+	return list
+}

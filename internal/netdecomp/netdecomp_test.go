@@ -1,0 +1,237 @@
+package netdecomp
+
+import (
+	"math/bits"
+	"testing"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+)
+
+func decompGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":     graph.Path(40),
+		"cycle":    graph.Cycle(64),
+		"grid":     graph.Grid2D(8, 8),
+		"star":     graph.Star(20),
+		"regular":  graph.MustRandomRegular(48, 4, 3),
+		"gnp":      graph.GNP(50, 0.1, 7),
+		"barbell":  graph.Barbell(8, 20),
+		"caveman":  graph.Caveman(5, 6),
+		"tree":     graph.BinaryTree(63),
+		"complete": graph.Complete(16),
+		"single":   graph.Path(1),
+	}
+}
+
+func TestBuildValidDecomposition(t *testing.T) {
+	for name, g := range decompGraphs() {
+		t.Run(name, func(t *testing.T) {
+			d, err := Build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDecompositionQuality(t *testing.T) {
+	for name, g := range decompGraphs() {
+		t.Run(name, func(t *testing.T) {
+			d, err := Build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.N()
+			logn := bits.Len(uint(n))
+			// α = O(log n): the construction halves remaining nodes.
+			if d.Colors > logn+2 {
+				t.Errorf("α = %d colors > log n + 2 = %d", d.Colors, logn+2)
+			}
+			// β = O(log³ n): generous constant for small n.
+			betaCap := 8*logn*logn*logn + 8
+			if d.Beta > betaCap {
+				t.Errorf("β = %d > %d", d.Beta, betaCap)
+			}
+			// κ = O(log n).
+			if d.Congestion > 4*logn+4 {
+				t.Errorf("κ = %d > 4·log n + 4", d.Congestion)
+			}
+		})
+	}
+}
+
+func TestEveryNodeClusteredExactlyOnce(t *testing.T) {
+	g := graph.Grid2D(7, 9)
+	d, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, g.N())
+	for _, c := range d.Clusters {
+		for _, v := range c.Members {
+			seen[v]++
+		}
+	}
+	for v, s := range seen {
+		if s != 1 {
+			t.Errorf("node %d in %d clusters", v, s)
+		}
+	}
+}
+
+func TestClustersNonAdjacentWithinColor(t *testing.T) {
+	g := graph.MustRandomRegular(60, 5, 9)
+	d, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v int) {
+		cu, cv := d.ClusterOf[u], d.ClusterOf[v]
+		if cu != cv && d.Clusters[cu].Color == d.Clusters[cv].Color {
+			t.Fatalf("edge (%d,%d) joins distinct same-color clusters", u, v)
+		}
+	})
+}
+
+func TestTreesContainMembersAndAllowSteiner(t *testing.T) {
+	g := graph.Barbell(10, 30)
+	d, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steiner := 0
+	for _, c := range d.Clusters {
+		memberSet := map[int]struct{}{}
+		for _, v := range c.Members {
+			memberSet[v] = struct{}{}
+			if _, ok := c.TreeParent[v]; !ok {
+				t.Fatalf("member %d missing from tree", v)
+			}
+		}
+		for v := range c.TreeParent {
+			if _, ok := memberSet[v]; !ok {
+				steiner++
+			}
+		}
+	}
+	// Steiner nodes are allowed; just record that the machinery tolerates
+	// them (some graphs produce none).
+	t.Logf("steiner tree nodes: %d", steiner)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := graph.GNP(40, 0.15, 3)
+	d1, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Colors != d2.Colors || len(d1.Clusters) != len(d2.Clusters) {
+		t.Fatal("decomposition not deterministic")
+	}
+	for v := range d1.ClusterOf {
+		if d1.ClusterOf[v] != d2.ClusterOf[v] {
+			t.Fatal("cluster assignment not deterministic")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	d, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Colors != 0 || len(d.Clusters) != 0 {
+		t.Errorf("empty graph decomposition: %+v", d)
+	}
+}
+
+func TestListColorDecomposed(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"cycle":   graph.Cycle(48),
+		"grid":    graph.Grid2D(6, 6),
+		"barbell": graph.Barbell(6, 12),
+		"regular": graph.MustRandomRegular(40, 4, 5),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			inst := graph.DeltaPlusOneInstance(g)
+			res, err := ListColorDecomposed(inst, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.VerifyColoring(res.Colors); err != nil {
+				t.Fatal(err)
+			}
+			if res.ChargedRounds <= 0 {
+				t.Error("no rounds charged")
+			}
+			if len(res.ClassRounds) != res.Decomp.Colors {
+				t.Errorf("class rounds %d for %d classes", len(res.ClassRounds), res.Decomp.Colors)
+			}
+		})
+	}
+}
+
+func TestListColorDecomposedRandomLists(t *testing.T) {
+	g := graph.Cycle(32)
+	inst, err := graph.RandomListInstance(g, 64, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ListColorDecomposed(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposedBeatsDiameterOnLargeD: on a long cycle, the Corollary 1.2
+// charged rounds should grow much slower than Theorem 1.1's D-dependent
+// rounds as n doubles.
+func TestDecomposedBeatsDiameterOnLargeD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling comparison skipped in -short")
+	}
+	small, big := graph.Cycle(32), graph.Cycle(128)
+	instS, instB := graph.DeltaPlusOneInstance(small), graph.DeltaPlusOneInstance(big)
+	dS, err := ListColorDecomposed(instS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, err := ListColorDecomposed(instB, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tS, err := core.ListColorCONGEST(instS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB, err := core.ListColorCONGEST(instB, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growthDecomp := float64(dB.ChargedRounds) / float64(dS.ChargedRounds)
+	growthDirect := float64(tB.Stats.Rounds) / float64(tS.Stats.Rounds)
+	t.Logf("4×n: decomposed rounds ×%.2f (%d→%d), direct ×%.2f (%d→%d)",
+		growthDecomp, dS.ChargedRounds, dB.ChargedRounds,
+		growthDirect, tS.Stats.Rounds, tB.Stats.Rounds)
+	// At unit-test sizes both are in the same regime (the polylog pipeline
+	// overtakes the Θ(D·logn) one only for much larger cycles; the bench
+	// harness E5 shows the crossover). Guard only against the decomposed
+	// pipeline scaling *clearly* worse than linear-in-D.
+	if growthDecomp > 1.5*growthDirect {
+		t.Errorf("decomposition pipeline scaled much worse (×%.2f) than the diameter-bound one (×%.2f)",
+			growthDecomp, growthDirect)
+	}
+}

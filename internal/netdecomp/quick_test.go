@@ -1,0 +1,90 @@
+package netdecomp
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"smallbandwidth/internal/graph"
+)
+
+// TestDecompositionPropertyQuick builds decompositions of random graphs
+// and checks the full Definition 3.1 contract plus the α/β/κ quality
+// bounds on each.
+func TestDecompositionPropertyQuick(t *testing.T) {
+	check := func(seed uint64, nRaw, pRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		p := float64(pRaw%50)/100 + 0.05
+		g := graph.GNP(n, p, seed)
+		d, err := Build(g)
+		if err != nil {
+			t.Logf("seed=%d n=%d p=%.2f: %v", seed, n, p, err)
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			t.Logf("seed=%d n=%d p=%.2f: %v", seed, n, p, err)
+			return false
+		}
+		logn := bits.Len(uint(n))
+		if d.Colors > logn+2 {
+			t.Logf("seed=%d: α=%d too large", seed, d.Colors)
+			return false
+		}
+		if d.Congestion > 4*logn+4 {
+			t.Logf("seed=%d: κ=%d too large", seed, d.Congestion)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSurvivorsAtLeastHalfPerClass re-derives the ≥½ per-class guarantee
+// from the recorded classes: class c must contain at least half of the
+// nodes not in classes < c.
+func TestSurvivorsAtLeastHalfPerClass(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(64), graph.Grid2D(8, 8), graph.GNP(60, 0.12, 4),
+		graph.MustRandomRegular(64, 5, 6),
+	} {
+		d, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perClass := make([]int, d.Colors+1)
+		for _, c := range d.Clusters {
+			perClass[c.Color] += len(c.Members)
+		}
+		remaining := g.N()
+		for class := 1; class <= d.Colors; class++ {
+			if 2*perClass[class] < remaining {
+				t.Errorf("class %d clustered %d of %d (< half)", class, perClass[class], remaining)
+			}
+			remaining -= perClass[class]
+		}
+		if remaining != 0 {
+			t.Errorf("%d nodes never clustered", remaining)
+		}
+	}
+}
+
+// TestChargedRoundsPolylogShape: construction rounds on growing cycles
+// must grow far slower than n (polylog), unlike D = n/2.
+func TestChargedRoundsPolylogShape(t *testing.T) {
+	var rounds []int
+	for _, n := range []int{64, 256} {
+		d, err := Build(graph.Cycle(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, d.ChargedRound)
+	}
+	// 4× n: charged construction rounds should grow ≤ ~3× (polylog),
+	// certainly not 4× (linear).
+	if float64(rounds[1]) > 3.5*float64(rounds[0]) {
+		t.Errorf("construction rounds grew ×%.2f for 4× n: %v — not polylog-shaped",
+			float64(rounds[1])/float64(rounds[0]), rounds)
+	}
+}

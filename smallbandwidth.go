@@ -1,0 +1,159 @@
+// Package smallbandwidth is the public API of this repository: a Go
+// implementation of "Efficient Deterministic Distributed Coloring with
+// Small Bandwidth" (Bamberger, Kuhn, Maus — PODC 2020).
+//
+// It solves the (degree+1)-list-coloring problem — and therefore the
+// classic (Δ+1)-coloring problem — deterministically in three simulated
+// distributed models:
+//
+//   - CONGEST (Theorem 1.1, Corollary 1.2): ColorCONGEST runs the
+//     diameter-time algorithm; ColorDecomposed runs it on top of a
+//     network decomposition for polylog(n) rounds on any topology.
+//   - CONGESTED CLIQUE (Theorem 1.3): ColorClique.
+//   - MPC with linear or sublinear memory (Theorems 1.4, 1.5): ColorMPC.
+//
+// Build an Instance with NewInstance (or the generators in this
+// package), call a Color* entry point, and inspect the returned report:
+// every run verifies its own output and reports the measured rounds,
+// messages, and model-resource high-water marks.
+//
+// The quickstart:
+//
+//	g := smallbandwidth.RandomRegular(64, 4, 1)
+//	inst := smallbandwidth.DeltaPlusOne(g)
+//	res, err := smallbandwidth.ColorCONGEST(inst)
+//	// res.Colors is a proper coloring; res.Stats.Rounds is the cost.
+package smallbandwidth
+
+import (
+	"smallbandwidth/internal/baseline"
+	"smallbandwidth/internal/clique"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/mpc"
+	"smallbandwidth/internal/netdecomp"
+)
+
+// Re-exported data types. The aliases keep type identity with the
+// internal packages, so advanced users can mix this façade with the
+// internal APIs inside this module.
+type (
+	// Graph is an immutable undirected graph on nodes 0..N-1.
+	Graph = graph.Graph
+	// Builder incrementally constructs a Graph.
+	Builder = graph.Builder
+	// Instance is a (degree+1)-list-coloring instance.
+	Instance = graph.Instance
+	// CONGESTResult reports a Theorem 1.1 run.
+	CONGESTResult = core.Result
+	// CONGESTOptions tunes a Theorem 1.1 run.
+	CONGESTOptions = core.Options
+	// DecompResult reports a Corollary 1.2 run.
+	DecompResult = netdecomp.DecompResult
+	// Decomposition is a network decomposition with congestion (Def. 3.1).
+	Decomposition = netdecomp.Decomposition
+	// CliqueResult reports a Theorem 1.3 run.
+	CliqueResult = clique.Result
+	// CliqueOptions tunes a Theorem 1.3 run.
+	CliqueOptions = clique.Options
+	// MPCResult reports a Theorem 1.4/1.5 run.
+	MPCResult = mpc.Result
+	// MPCOptions tunes a Theorem 1.4/1.5 run.
+	MPCOptions = mpc.Options
+)
+
+// NewGraphBuilder returns a builder for a graph on n nodes.
+func NewGraphBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// Common generators (deterministic in their seed).
+var (
+	Path          = graph.Path
+	Cycle         = graph.Cycle
+	Grid2D        = graph.Grid2D
+	Torus2D       = graph.Torus2D
+	Hypercube     = graph.Hypercube
+	Star          = graph.Star
+	Complete      = graph.Complete
+	Barbell       = graph.Barbell
+	Caveman       = graph.Caveman
+	GNP             = graph.GNP
+	RandomRegular   = graph.MustRandomRegular
+	ChungLu         = graph.ChungLu
+	RandomGeometric = graph.RandomGeometric
+)
+
+// DeltaPlusOne builds the classic (Δ+1)-coloring instance for g
+// (Observation 4.1's reduction).
+func DeltaPlusOne(g *Graph) *Instance { return graph.DeltaPlusOneInstance(g) }
+
+// NewInstance builds and validates a list-coloring instance with the
+// given color-space size and per-node lists.
+func NewInstance(g *Graph, colorSpace uint32, lists [][]uint32) (*Instance, error) {
+	inst := &Instance{G: g, C: colorSpace, Lists: lists}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// RandomLists builds an instance whose lists are random
+// (deg+1+slack)-subsets of [colorSpace].
+func RandomLists(g *Graph, colorSpace uint32, slack int, seed uint64) (*Instance, error) {
+	return graph.RandomListInstance(g, colorSpace, slack, seed)
+}
+
+// ColorCONGEST solves the instance with the Theorem 1.1 CONGEST
+// algorithm in O(D·logn·logC·(logΔ+loglogC)) measured rounds. The graph
+// may be disconnected (components run in parallel).
+func ColorCONGEST(inst *Instance, opts ...CONGESTOptions) (*CONGESTResult, error) {
+	var o CONGESTOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return core.ListColorComponents(inst, o)
+}
+
+// ColorDecomposed solves the instance with the Corollary 1.2 pipeline:
+// network decomposition + per-class Theorem 1.1, polylog(n) rounds
+// independent of the diameter.
+func ColorDecomposed(inst *Instance, opts ...CONGESTOptions) (*DecompResult, error) {
+	var o CONGESTOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return netdecomp.ListColorDecomposed(inst, o)
+}
+
+// BuildDecomposition exposes the network decomposition itself.
+func BuildDecomposition(g *Graph) (*Decomposition, error) { return netdecomp.Build(g) }
+
+// ColorClique solves the instance in the congested clique (Theorem 1.3).
+func ColorClique(inst *Instance, opts ...CliqueOptions) (*CliqueResult, error) {
+	var o CliqueOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return clique.ListColorClique(inst, o)
+}
+
+// ColorMPC solves the instance in the MPC model; set Sublinear in the
+// options to switch from Theorem 1.4 to Theorem 1.5.
+func ColorMPC(inst *Instance, opts ...MPCOptions) (*MPCResult, error) {
+	var o MPCOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return mpc.ListColorMPC(inst, o)
+}
+
+// ColorRandomizedBaseline runs Johansson's randomized CONGEST coloring,
+// the comparison point for the deterministic algorithms.
+func ColorRandomizedBaseline(inst *Instance, seed uint64) (*baseline.RandResult, error) {
+	return baseline.RandomizedCONGEST(inst, seed)
+}
+
+// Greedy returns the sequential greedy coloring (correctness oracle).
+func Greedy(inst *Instance) []uint32 { return inst.Greedy() }

@@ -1,0 +1,95 @@
+package smallbandwidth
+
+import "testing"
+
+// TestFacadeEndToEnd exercises every public entry point on one instance.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := RandomRegular(24, 4, 1)
+	inst := DeltaPlusOne(g)
+
+	congest, err := ColorCONGEST(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(congest.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	decomp, err := ColorDecomposed(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(decomp.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	clq, err := ColorClique(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(clq.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	mpcRes, err := ColorMPC(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(mpcRes.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	rnd, err := ColorRandomizedBaseline(inst, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(rnd.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := inst.VerifyColoring(Greedy(inst)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := BuildDecomposition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeInstanceBuilders(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(g, 4, [][]uint32{{0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColorCONGEST(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid instance rejected by the builder.
+	if _, err := NewInstance(g, 4, [][]uint32{{0}, {0, 1, 2}, {1, 2, 3}, {2, 3}}); err == nil {
+		t.Error("short list accepted by NewInstance")
+	}
+	// Random lists helper.
+	inst2, err := RandomLists(Grid2D(4, 4), 32, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ColorCONGEST(inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.VerifyColoring(res2.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
