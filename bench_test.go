@@ -12,6 +12,7 @@ import (
 
 	"smallbandwidth/internal/baseline"
 	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/enginebench"
 	"smallbandwidth/internal/mpc"
 	"smallbandwidth/internal/netdecomp"
 	"smallbandwidth/internal/prng"
@@ -277,6 +278,87 @@ func BenchmarkE12ZeroRound(b *testing.B) {
 	}
 	b.ReportMetric(before, "phi0")
 	b.ReportMetric(mean, "meanPhi1")
+}
+
+// ---------------------------------------------------------------------
+// Engine benchmarks: raw CONGEST-simulator throughput on large graphs.
+// These exercise the round engine (barrier, delivery, buffer reuse)
+// rather than a theorem's bound. The workloads are defined once in
+// internal/enginebench and shared with cmd/benchtables -engine, which
+// records them in BENCH_congest.json so the perf trajectory is tracked
+// across PRs.
+// ---------------------------------------------------------------------
+
+// BenchmarkEngineColorLarge runs one full partial-coloring iteration of
+// Theorem 1.1 (MaxIterations=1, Lemma 2.1) on 10⁵-node graphs: the
+// hottest realistic workload for the simulator. rounds and messages are
+// reported so regressions in measured cost (not just wall clock) are
+// visible.
+func BenchmarkEngineColorLarge(b *testing.B) {
+	for _, kind := range enginebench.Kinds {
+		for _, n := range []int{10000, 100000} {
+			kind, n := kind, n
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				// Built inside b.Run so filtered invocations don't pay for
+				// (or hold live) the unselected 10⁵-node graphs.
+				g := enginebench.Graph(kind, n)
+				b.ResetTimer()
+				b.ReportAllocs()
+				var rounds int
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					res, err := enginebench.Color(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds, msgs = res.Stats.Rounds, res.Stats.Messages
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(msgs), "messages")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineBarrier isolates the round barrier: n nodes tick
+// through 200 empty rounds, so ns/op ≈ 200·n wake/sleep transitions with
+// no protocol work at all.
+func BenchmarkEngineBarrier(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := enginebench.Graph("regular4", n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := enginebench.Barrier(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFlood saturates delivery: every node sends to every
+// neighbor every round (FloodRounds·2m messages total).
+func BenchmarkEngineFlood(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := enginebench.Graph("regular4", n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := enginebench.Flood(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := int64(enginebench.FloodRounds * 2 * g.M()); st.Messages != want {
+					b.Fatalf("delivered %d messages, want %d", st.Messages, want)
+				}
+			}
+		})
+	}
 }
 
 func isqrtBench(x int) int {

@@ -1,0 +1,125 @@
+package main
+
+// Engine benchmark recording: `benchtables -engine` measures the CONGEST
+// simulator itself (not a theorem) on large graphs and merges the
+// results into BENCH_congest.json, keyed by -label, so the engine's perf
+// trajectory is tracked across PRs. The workloads (color, barrier,
+// flood) are defined in internal/enginebench, shared with the
+// BenchmarkEngine* benchmarks in bench_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smallbandwidth/internal/enginebench"
+)
+
+// EngineWorkload is one measured engine run.
+type EngineWorkload struct {
+	Name       string `json:"name"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Rounds     int    `json:"rounds"`
+	Messages   int64  `json:"messages"`
+	Words      int64  `json:"words"`
+	WallNS     int64  `json:"wall_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+}
+
+// EngineRecord is one engine's full measurement set.
+type EngineRecord struct {
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Source     string           `json:"source"`
+	Workloads  []EngineWorkload `json:"workloads"`
+}
+
+// BenchFile is the BENCH_congest.json schema: a label→record map so
+// successive PRs append instead of overwrite.
+type BenchFile struct {
+	Schema  string                  `json:"schema"`
+	Engines map[string]EngineRecord `json:"engines"`
+}
+
+func measure(name string, n, m int, run func() (rounds int, messages, words int64)) EngineWorkload {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rounds, messages, words := run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	w := EngineWorkload{
+		Name: name, N: n, M: m,
+		Rounds: rounds, Messages: messages, Words: words,
+		WallNS:     wall.Nanoseconds(),
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:    after.Mallocs - before.Mallocs,
+	}
+	fmt.Printf("%-28s n=%-7d m=%-8d rounds=%-6d msgs=%-10d wall=%-12s alloc=%dMB mallocs=%d\n",
+		name, n, m, rounds, messages, wall.Round(time.Millisecond),
+		w.AllocBytes/(1<<20), w.Mallocs)
+	return w
+}
+
+func engineBench(quick bool) []EngineWorkload {
+	sizes := []int{10000, 100000}
+	if quick {
+		sizes = []int{2000, 10000}
+	}
+	fail := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine %s run failed: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	var out []EngineWorkload
+	for _, n := range sizes {
+		for _, kind := range enginebench.Kinds {
+			g := enginebench.Graph(kind, n)
+			out = append(out, measure(fmt.Sprintf("color/%s", kind), g.N(), g.M(), func() (int, int64, int64) {
+				res, err := enginebench.Color(g)
+				fail("color", err)
+				return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
+			}))
+		}
+		g := enginebench.Graph("regular4", n)
+		out = append(out, measure("barrier/regular4", g.N(), g.M(), func() (int, int64, int64) {
+			st, err := enginebench.Barrier(g)
+			fail("barrier", err)
+			return st.Rounds, st.Messages, st.Words
+		}))
+		out = append(out, measure("flood/regular4", g.N(), g.M(), func() (int, int64, int64) {
+			st, err := enginebench.Flood(g)
+			fail("flood", err)
+			return st.Rounds, st.Messages, st.Words
+		}))
+	}
+	return out
+}
+
+// recordEngine merges this run into path under label and writes it back.
+func recordEngine(path, label string, quick bool) error {
+	file := BenchFile{Schema: "smallbandwidth/bench-congest/v1", Engines: map[string]EngineRecord{}}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON (%v); refusing to overwrite", path, err)
+		}
+		if file.Engines == nil {
+			file.Engines = map[string]EngineRecord{}
+		}
+	}
+	file.Engines[label] = EngineRecord{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Source:     "cmd/benchtables -engine",
+		Workloads:  engineBench(quick),
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -3,11 +3,18 @@
 // comparing the measured quantity against the claimed bound's shape.
 //
 // Usage: benchtables [-quick] [-exp E1,E5,...]
+//
+// With -engine it instead benchmarks the CONGEST simulator itself on
+// large graphs and records the results in BENCH_congest.json (see
+// engine.go), keyed by -label:
+//
+//	benchtables -engine -label my-change -o BENCH_congest.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	sb "smallbandwidth"
@@ -22,7 +29,18 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 
 func main() {
 	only := flag.String("exp", "", "comma-separated experiment ids (default all)")
+	engine := flag.Bool("engine", false, "benchmark the CONGEST engine and record BENCH_congest.json")
+	label := flag.String("label", "current", "label for the -engine record")
+	out := flag.String("o", "BENCH_congest.json", "output path for the -engine record")
 	flag.Parse()
+	if *engine {
+		if err := recordEngine(*out, *label, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded engine benchmarks under label %q in %s\n", *label, *out)
+		return
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*only, ",") {
 		if e != "" {

@@ -1,0 +1,3 @@
+module smallbandwidth
+
+go 1.21

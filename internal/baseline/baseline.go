@@ -49,9 +49,11 @@ func RandomizedCONGEST(inst *graph.Instance, seed uint64) (*RandResult, error) {
 	stats, err := congest.Run(inst.G, congest.Config{}, func(ctx *congest.Ctx) {
 		src := prng.New(seed ^ (uint64(ctx.ID())+1)*0x9e3779b97f4a7c15)
 		list := append([]uint32(nil), inst.Lists[ctx.ID()]...)
-		aliveNbr := map[int]bool{}
-		for _, w := range ctx.Neighbors() {
-			aliveNbr[int(w)] = true
+		// Alive neighbors tracked by neighbor index (no per-node map):
+		// sends iterate the sorted adjacency, so traffic is deterministic.
+		aliveNbr := make([]bool, ctx.Degree())
+		for i := range aliveNbr {
+			aliveNbr[i] = true
 		}
 		colored := false
 		var myColor uint32
@@ -59,8 +61,10 @@ func RandomizedCONGEST(inst *graph.Instance, seed uint64) (*RandResult, error) {
 			var try uint32
 			if !colored {
 				try = list[src.Intn(len(list))]
-				for w := range aliveNbr {
-					ctx.Send(w, congest.Message{tagTry, uint64(try)})
+				for i, w := range ctx.Neighbors() {
+					if aliveNbr[i] {
+						ctx.Send(int(w), congest.Message{tagTry, uint64(try)})
+					}
 				}
 			}
 			conflict := false
@@ -71,7 +75,7 @@ func RandomizedCONGEST(inst *graph.Instance, seed uint64) (*RandResult, error) {
 						conflict = true
 					}
 				case tagFinal:
-					delete(aliveNbr, in.From)
+					aliveNbr[ctx.NeighborIndex(in.From)] = false
 					list = removeColor(list, uint32(in.Payload[1]))
 					// A neighbor finalized this color one round ago; our
 					// tentative pick loses (it no longer defends its color
@@ -84,8 +88,10 @@ func RandomizedCONGEST(inst *graph.Instance, seed uint64) (*RandResult, error) {
 			if !colored && !conflict {
 				colored = true
 				myColor = try
-				for w := range aliveNbr {
-					ctx.Send(w, congest.Message{tagFinal, uint64(try)})
+				for i, w := range ctx.Neighbors() {
+					if aliveNbr[i] {
+						ctx.Send(int(w), congest.Message{tagFinal, uint64(try)})
+					}
 				}
 				// One more round so the announcement drains, then leave.
 				ctx.Next()

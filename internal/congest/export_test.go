@@ -1,0 +1,6 @@
+package congest
+
+// SetForceShards pins the delivery/wake shard count for tests (0
+// restores automatic sizing). The determinism regression runs the same
+// protocol under 1 and many shards and asserts bit-identical results.
+func SetForceShards(n int) { forceShards = n }

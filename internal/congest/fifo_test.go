@@ -1,0 +1,39 @@
+package congest
+
+import "testing"
+
+// TestFifoSustainedBacklogCompacts drives the push-one/pop-one pattern
+// that never fully drains the queue and checks both FIFO order and that
+// the backing array stays O(backlog) instead of O(operations).
+func TestFifoSustainedBacklogCompacts(t *testing.T) {
+	var q fifo
+	const backlog = 3
+	next := uint64(0)
+	for i := 0; i < backlog; i++ {
+		q.push(Message{next})
+		next++
+	}
+	want := uint64(0)
+	for op := 0; op < 10000; op++ {
+		q.push(Message{next})
+		next++
+		m := q.pop()
+		if m[0] != want {
+			t.Fatalf("op %d: popped %d, want %d", op, m[0], want)
+		}
+		want++
+		if q.size() != backlog {
+			t.Fatalf("op %d: size %d, want %d", op, q.size(), backlog)
+		}
+	}
+	if c := cap(q.buf); c > 128 {
+		t.Fatalf("backing array grew to %d for a backlog of %d", c, backlog)
+	}
+	for q.size() > 0 {
+		if m := q.pop(); m[0] != want {
+			t.Fatalf("drain: popped %d, want %d", m[0], want)
+		} else {
+			want++
+		}
+	}
+}

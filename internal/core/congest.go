@@ -185,6 +185,14 @@ type nodeState struct {
 	nbrK1    []uint64
 	nbrLen   []uint64
 	nbrPsi   []uint64
+
+	// Reused scratch: these are rewritten every iteration/phase, and
+	// keeping them on the node state (instead of allocating per use)
+	// removes the dominant steady-state allocations of a run.
+	nbrCoins  []gf2.Coin
+	hNbr      []bool
+	nbrColors []uint64
+	basisTmp  gf2.Basis
 }
 
 func (ns *nodeState) init(inst *graph.Instance) {
@@ -199,6 +207,9 @@ func (ns *nodeState) init(inst *graph.Instance) {
 	ns.nbrK1 = make([]uint64, deg)
 	ns.nbrLen = make([]uint64, deg)
 	ns.nbrPsi = make([]uint64, deg)
+	ns.nbrCoins = make([]gf2.Coin, deg)
+	ns.hNbr = make([]bool, deg)
+	ns.nbrColors = make([]uint64, 0, deg)
 }
 
 func (ns *nodeState) run() {
@@ -232,7 +243,7 @@ func (ns *nodeState) runLinial() {
 		for _, w := range ns.ctx.Neighbors() {
 			ns.ctx.Send(int(w), congest.Message{tagLinial, ns.psi})
 		}
-		nbrColors := make([]uint64, 0, ns.ctx.Degree())
+		nbrColors := ns.nbrColors[:0]
 		for _, in := range ns.ctx.Next() {
 			mustTag(in, tagLinial)
 			nbrColors = append(nbrColors, in.Payload[1])
@@ -282,7 +293,10 @@ func (ns *nodeState) partialIteration(iter int) {
 
 	// V<4 membership exchange (1 round).
 	inV4 := ns.alive && confDeg <= 3
-	hNbr := make([]bool, deg)
+	hNbr := ns.hNbr
+	for i := range hNbr {
+		hNbr[i] = false
+	}
 	if ns.alive {
 		for i, w := range ns.ctx.Neighbors() {
 			if ns.conflict[i] {
@@ -307,7 +321,7 @@ func (ns *nodeState) partialIteration(iter int) {
 				}
 			}
 		}
-		var nbrColors []uint64
+		nbrColors := ns.nbrColors[:0]
 		for _, in := range ns.ctx.Next() {
 			mustTag(in, tagHLin)
 			if hNbr[ns.ctx.NeighborIndex(in.From)] {
@@ -387,7 +401,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 
 	// Build this node's coin and its conflict neighbors' coins.
 	var myCoin gf2.Coin
-	nbrCoins := make([]gf2.Coin, deg)
+	nbrCoins := ns.nbrCoins
 	if ns.alive {
 		var err error
 		myCoin, err = gf2.NewCoin(ns.p.Fam, ns.psi, ns.p.B, uint64(k1), uint64(len(ns.cands)))
@@ -417,7 +431,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 					continue
 				}
 				for _, beta := range []bool{false, true} {
-					bs2 := basis.Clone()
+					bs2 := basis.CloneInto(&ns.basisTmp)
 					if !bs2.FixBit(j, beta) {
 						panic("core: seed bit re-fix inconsistent")
 					}

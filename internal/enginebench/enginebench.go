@@ -1,0 +1,67 @@
+// Package enginebench defines the standard CONGEST-engine benchmark
+// workloads in one place, shared by the Go benchmarks in bench_test.go
+// and the BENCH_congest.json recorder (cmd/benchtables -engine), so the
+// two can never measure subtly different things:
+//
+//   - Graph:  the benchmark topologies (4-regular, sparse GNP deg≈16);
+//   - Color:  one partial-coloring iteration of Theorem 1.1, the
+//     hottest realistic workload for the simulator;
+//   - Barrier: empty rounds isolating wake/sleep synchronization;
+//   - Flood:  full-neighborhood traffic isolating message delivery.
+package enginebench
+
+import (
+	"fmt"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+)
+
+// Kinds are the standard benchmark topologies, in recording order.
+var Kinds = []string{"regular4", "gnp16"}
+
+// BarrierRounds and FloodRounds fix the synthetic workloads' length.
+const (
+	BarrierRounds = 200
+	FloodRounds   = 100
+)
+
+// Graph builds a standard benchmark topology (deterministic, seed 1).
+func Graph(kind string, n int) *graph.Graph {
+	switch kind {
+	case "regular4":
+		return graph.MustRandomRegular(n, 4, 1)
+	case "gnp16":
+		return graph.GNP(n, 16/float64(n), 1)
+	}
+	panic(fmt.Sprintf("enginebench: unknown graph kind %q", kind))
+}
+
+// Color runs one partial-coloring iteration of Theorem 1.1
+// (MaxIterations = 1, Lemma 2.1) on the (Δ+1)-instance of g.
+func Color(g *graph.Graph) (*core.Result, error) {
+	inst := graph.DeltaPlusOneInstance(g)
+	return core.ListColorComponents(inst, core.Options{MaxIterations: 1})
+}
+
+// Barrier ticks every node through BarrierRounds empty rounds: pure
+// synchronization cost, no messages.
+func Barrier(g *graph.Graph) (*congest.Stats, error) {
+	return congest.Run(g, congest.Config{}, func(ctx *congest.Ctx) {
+		congest.SpinUntil(ctx, BarrierRounds)
+	})
+}
+
+// Flood has every node send to every neighbor every round for
+// FloodRounds rounds: FloodRounds·2m messages of pure delivery cost.
+func Flood(g *graph.Graph) (*congest.Stats, error) {
+	return congest.Run(g, congest.Config{}, func(ctx *congest.Ctx) {
+		for r := 0; r < FloodRounds; r++ {
+			for _, w := range ctx.Neighbors() {
+				ctx.Send(int(w), congest.Message{congest.UserTagBase, uint64(r)})
+			}
+			ctx.Next()
+		}
+	})
+}

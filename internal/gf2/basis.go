@@ -1,5 +1,19 @@
 package gf2
 
+import "sync"
+
+// basisPool recycles the scratch bases that ProbLess/ProbBothLess clone
+// on every call: the conditional-expectation inner loop evaluates these
+// millions of times per run, and pooling the row storage removes the
+// dominant allocation of the whole derandomization.
+var basisPool = sync.Pool{New: func() any { return new(Basis) }}
+
+func cloneFromPool(bs *Basis) *Basis {
+	return bs.CloneInto(basisPool.Get().(*Basis))
+}
+
+func releaseBasis(w *Basis) { basisPool.Put(w) }
+
 // AddResult classifies the outcome of adding an affine constraint to a
 // Basis.
 type AddResult int
@@ -43,6 +57,16 @@ func (bs *Basis) Clone() *Basis {
 	rows := make([]basisRow, len(bs.rows))
 	copy(rows, bs.rows)
 	return &Basis{rows: rows}
+}
+
+// CloneInto copies the basis into dst, reusing dst's backing storage,
+// and returns dst. It exists for hot loops — the method of conditional
+// expectations clones the basis twice per seed bit per conflict edge —
+// where Clone's fresh allocation dominates the profile. dst must not be
+// bs itself.
+func (bs *Basis) CloneInto(dst *Basis) *Basis {
+	dst.rows = append(dst.rows[:0], bs.rows...)
+	return dst
 }
 
 // reduce eliminates the pivots of all existing rows from (mask, rhs).
@@ -121,7 +145,8 @@ func ProbLess(bs *Basis, forms []Form, t uint64) float64 {
 	if t >= uint64(1)<<b {
 		return 1
 	}
-	w := bs.Clone()
+	w := cloneFromPool(bs)
+	defer releaseBasis(w)
 	prob := 0.0
 	condProb := 1.0 // Pr[prefix constraints so far | basis]
 	for idx, fo := range forms {
@@ -153,7 +178,8 @@ func ProbBothLess(bs *Basis, fu []Form, tu uint64, fv []Form, tv uint64) float64
 	if tu >= uint64(1)<<bu {
 		return ProbLess(bs, fv, tv)
 	}
-	w := bs.Clone()
+	w := cloneFromPool(bs)
+	defer releaseBasis(w)
 	prob := 0.0
 	condProb := 1.0
 	for idx, fo := range fu {
@@ -161,7 +187,7 @@ func ProbBothLess(bs *Basis, fu []Form, tu uint64, fv []Form, tv uint64) float64
 		tj := tu&(1<<bitPos) != 0
 		if tj {
 			// Event E: prefix equal (already in w) ∧ this bit = 0.
-			w2 := w.Clone()
+			w2 := cloneFromPool(w)
 			switch w2.Add(fo, false) {
 			case Independent:
 				prob += condProb * 0.5 * ProbLess(w2, fv, tv)
@@ -170,6 +196,7 @@ func ProbBothLess(bs *Basis, fu []Form, tu uint64, fv []Form, tv uint64) float64
 			case Inconsistent:
 				// contributes zero
 			}
+			releaseBasis(w2)
 		}
 		switch w.Add(fo, tj) {
 		case Independent:

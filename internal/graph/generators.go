@@ -199,15 +199,37 @@ func Caveman(clusters, k int) *Graph {
 }
 
 // GNP returns an Erdős–Rényi G(n,p) graph drawn deterministically from
-// seed.
+// seed. Sampling uses geometric edge-skipping [Batagelj–Brandes 2005],
+// so the cost is O(n + m) rather than O(n²), which makes 10⁵+-node
+// sparse graphs practical benchmark inputs.
 func GNP(n int, p float64, seed uint64) *Graph {
-	src := prng.New(seed)
 	b := NewBuilder(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if src.Float64() < p {
-				b.MustAddEdge(u, v)
-			}
+	if n < 2 || p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	src := prng.New(seed)
+	lq := math.Log1p(-p) // log(1-p) < 0
+	// Enumerate pairs (v, w) with w < v in row-major order, jumping ahead
+	// by a geometric number of non-edges each step. w advances in int64:
+	// a single skip can reach n² ≈ 10¹⁰ for n = 10⁵, which overflows int
+	// on 32-bit platforms; the reduction loop brings it below n before
+	// it is used as a node ID.
+	v, w := 1, int64(-1)
+	for v < n {
+		skip := math.Floor(math.Log1p(-src.Float64()) / lq)
+		if skip > float64(n)*float64(n) {
+			break
+		}
+		w += 1 + int64(skip)
+		for w >= int64(v) && v < n {
+			w -= int64(v)
+			v++
+		}
+		if v < n {
+			b.MustAddEdge(v, int(w))
 		}
 	}
 	return b.Build()

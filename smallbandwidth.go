@@ -70,15 +70,15 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n
 
 // Common generators (deterministic in their seed).
 var (
-	Path          = graph.Path
-	Cycle         = graph.Cycle
-	Grid2D        = graph.Grid2D
-	Torus2D       = graph.Torus2D
-	Hypercube     = graph.Hypercube
-	Star          = graph.Star
-	Complete      = graph.Complete
-	Barbell       = graph.Barbell
-	Caveman       = graph.Caveman
+	Path            = graph.Path
+	Cycle           = graph.Cycle
+	Grid2D          = graph.Grid2D
+	Torus2D         = graph.Torus2D
+	Hypercube       = graph.Hypercube
+	Star            = graph.Star
+	Complete        = graph.Complete
+	Barbell         = graph.Barbell
+	Caveman         = graph.Caveman
 	GNP             = graph.GNP
 	RandomRegular   = graph.MustRandomRegular
 	ChungLu         = graph.ChungLu
