@@ -368,3 +368,40 @@ func isqrtBench(x int) int {
 	}
 	return r
 }
+
+// BenchmarkEngineCliqueFlood saturates the clique Exchange fabric:
+// all-to-all one-word traffic, n·(n−1) messages per round through the
+// shared engine's scatter pass.
+func BenchmarkEngineCliqueFlood(b *testing.B) {
+	for _, n := range []int{512, 1536} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := enginebench.CliqueFlood(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := int64(enginebench.CliqueFloodRounds * n * (n - 1)); st.Messages != want {
+					b.Fatalf("delivered %d messages, want %d", st.Messages, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMPCSort drives the Lemma 5.1 record-moving hot path:
+// distributed sort plus group ranks/sizes over the engine pool.
+func BenchmarkEngineMPCSort(b *testing.B) {
+	for _, n := range []int{1000000, 4000000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := enginebench.MPCSortRanks(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

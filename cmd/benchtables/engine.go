@@ -3,9 +3,10 @@ package main
 // Engine benchmark recording: `benchtables -engine` measures the CONGEST
 // simulator itself (not a theorem) on large graphs and merges the
 // results into BENCH_congest.json, keyed by -label, so the engine's perf
-// trajectory is tracked across PRs. The workloads (color, barrier,
-// flood) are defined in internal/enginebench, shared with the
-// BenchmarkEngine* benchmarks in bench_test.go.
+// trajectory is tracked across PRs; `-clique` and `-mpc` do the same for
+// the CONGESTED CLIQUE and MPC simulators (BENCH_clique.json,
+// BENCH_mpc.json). The workloads are defined in internal/enginebench,
+// shared with the BenchmarkEngine* benchmarks in bench_test.go.
 
 import (
 	"encoding/json"
@@ -101,21 +102,91 @@ func engineBench(quick bool) []EngineWorkload {
 	return out
 }
 
-// recordEngine merges this run into path under label and writes it back.
-func recordEngine(path, label string, quick bool) error {
-	file := BenchFile{Schema: "smallbandwidth/bench-congest/v1", Engines: map[string]EngineRecord{}}
+// cliqueBench measures the CONGESTED CLIQUE simulator: the all-to-all
+// flood isolates Exchange delivery, the color runs are Theorem 1.3 end
+// to end.
+func cliqueBench(quick bool) []EngineWorkload {
+	floodSizes := []int{512, 1536}
+	colorConfs := []struct{ n, d int }{{48, 8}, {64, 8}}
+	if quick {
+		floodSizes = []int{256, 512}
+		colorConfs = []struct{ n, d int }{{32, 6}}
+	}
+	var out []EngineWorkload
+	for _, n := range floodSizes {
+		out = append(out, measure(fmt.Sprintf("clique-flood/%d", n), n, n*(n-1)/2, func() (int, int64, int64) {
+			st, err := enginebench.CliqueFlood(n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clique flood run failed: %v\n", err)
+				os.Exit(1)
+			}
+			return st.Rounds, st.Messages, st.Words
+		}))
+	}
+	for _, c := range colorConfs {
+		out = append(out, measure(fmt.Sprintf("clique-color/regular%d", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
+			res, err := enginebench.CliqueColor(c.n, c.d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clique color run failed: %v\n", err)
+				os.Exit(1)
+			}
+			return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
+		}))
+	}
+	return out
+}
+
+// mpcBench measures the MPC simulator: the sort workloads isolate the
+// Lemma 5.1 record-moving tools, the color runs are Theorem 1.4 end to
+// end.
+func mpcBench(quick bool) []EngineWorkload {
+	sortSizes := []int{1000000, 4000000}
+	colorConfs := []struct{ n, d int }{{96, 4}, {128, 4}}
+	if quick {
+		sortSizes = []int{100000, 400000}
+		colorConfs = []struct{ n, d int }{{48, 4}}
+	}
+	var out []EngineWorkload
+	for _, n := range sortSizes {
+		out = append(out, measure(fmt.Sprintf("mpc-sort/%d", n), n, enginebench.MPCSortMachines, func() (int, int64, int64) {
+			rounds, err := enginebench.MPCSortRanks(n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpc sort run failed: %v\n", err)
+				os.Exit(1)
+			}
+			return rounds, int64(n), int64(3 * n)
+		}))
+	}
+	for _, c := range colorConfs {
+		out = append(out, measure(fmt.Sprintf("mpc-color/regular%d", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
+			res, err := enginebench.MPCColor(c.n, c.d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpc color run failed: %v\n", err)
+				os.Exit(1)
+			}
+			return res.Rounds, int64(res.HighWaterMemory), int64(res.HighWaterIO)
+		}))
+	}
+	return out
+}
+
+// recordBench merges one workload sweep into path under label and writes
+// the file back.
+func recordBench(path, label, schema, source string, workloads []EngineWorkload) error {
+	file := BenchFile{Schema: schema, Engines: map[string]EngineRecord{}}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
 			return fmt.Errorf("existing %s is not valid JSON (%v); refusing to overwrite", path, err)
 		}
+		file.Schema = schema
 		if file.Engines == nil {
 			file.Engines = map[string]EngineRecord{}
 		}
 	}
 	file.Engines[label] = EngineRecord{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Source:     "cmd/benchtables -engine",
-		Workloads:  engineBench(quick),
+		Source:     source,
+		Workloads:  workloads,
 	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

@@ -6,9 +6,12 @@
 //
 // With -engine it instead benchmarks the CONGEST simulator itself on
 // large graphs and records the results in BENCH_congest.json (see
-// engine.go), keyed by -label:
+// engine.go), keyed by -label; -clique and -mpc do the same for the
+// other two model simulators:
 //
 //	benchtables -engine -label my-change -o BENCH_congest.json
+//	benchtables -clique -label my-change
+//	benchtables -mpc -label my-change
 package main
 
 import (
@@ -30,15 +33,31 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 func main() {
 	only := flag.String("exp", "", "comma-separated experiment ids (default all)")
 	engine := flag.Bool("engine", false, "benchmark the CONGEST engine and record BENCH_congest.json")
-	label := flag.String("label", "current", "label for the -engine record")
-	out := flag.String("o", "BENCH_congest.json", "output path for the -engine record")
+	cliqueMode := flag.Bool("clique", false, "benchmark the CLIQUE simulator and record BENCH_clique.json")
+	mpcMode := flag.Bool("mpc", false, "benchmark the MPC simulator and record BENCH_mpc.json")
+	label := flag.String("label", "current", "label for the -engine/-clique/-mpc record")
+	out := flag.String("o", "", "output path for the -engine/-clique/-mpc record (default per mode)")
 	flag.Parse()
-	if *engine {
-		if err := recordEngine(*out, *label, *quick); err != nil {
+	record := func(defPath, schema, source string, workloads func(bool) []EngineWorkload) {
+		path := *out
+		if path == "" {
+			path = defPath
+		}
+		if err := recordBench(path, *label, schema, source, workloads(*quick)); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("recorded engine benchmarks under label %q in %s\n", *label, *out)
+		fmt.Printf("recorded benchmarks under label %q in %s\n", *label, path)
+	}
+	switch {
+	case *engine:
+		record("BENCH_congest.json", "smallbandwidth/bench-congest/v1", "cmd/benchtables -engine", engineBench)
+		return
+	case *cliqueMode:
+		record("BENCH_clique.json", "smallbandwidth/bench-clique/v1", "cmd/benchtables -clique", cliqueBench)
+		return
+	case *mpcMode:
+		record("BENCH_mpc.json", "smallbandwidth/bench-mpc/v1", "cmd/benchtables -mpc", mpcBench)
 		return
 	}
 	want := map[string]bool{}
@@ -327,39 +346,44 @@ func e11() {
 	header("E11", "Lemma 5.1: sorting / prefix sums / set difference in O(1) MPC rounds")
 	fmt.Printf("%7s %9s %10s %11s %12s\n", "N", "S", "sortRnds", "prefixRnds", "setdiffRnds")
 	for _, n := range []int{200, 1000, 5000} {
-		s := 40 * isqrtInt(n)
-		// Enough machines that one bucket plus one machine's share of the
-		// redistribution stays under S even with splitter skew.
-		rt, err := mpc.NewRuntime(maxInt(12*n/s, 2)+2, s)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		recs := make([]mpc.Rec, n)
-		for i := range recs {
-			recs[i] = mpc.Rec{uint64((i * 7919) % 1024), uint64(i), 1}
-		}
-		d, err := mpc.NewDist(rt, recs)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		if err := d.Sort(rt); err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		sortR := rt.Rounds
-		if err := d.PrefixSums(rt, func(a, b uint64) uint64 { return a + b }, 0); err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		prefR := rt.Rounds - sortR
-		before := rt.Rounds
-		if _, err := mpc.SetDifference(rt, recs[:n/2], recs[n/2:]); err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		fmt.Printf("%7d %9d %10d %11d %12d\n", n, s, sortR, prefR, rt.Rounds-before)
+		// Per-iteration function scope so each runtime's engine pool is
+		// released before the next size starts.
+		func(n int) {
+			s := 40 * isqrtInt(n)
+			// Enough machines that one bucket plus one machine's share of
+			// the redistribution stays under S even with splitter skew.
+			rt, err := mpc.NewRuntime(maxInt(12*n/s, 2)+2, s)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			defer rt.Close()
+			recs := make([]mpc.Rec, n)
+			for i := range recs {
+				recs[i] = mpc.Rec{uint64((i * 7919) % 1024), uint64(i), 1}
+			}
+			d, err := mpc.NewDist(rt, recs)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			if err := d.Sort(rt); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			sortR := rt.Rounds
+			if err := d.PrefixSums(rt, func(a, b uint64) uint64 { return a + b }, 0); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			prefR := rt.Rounds - sortR
+			before := rt.Rounds
+			if _, err := mpc.SetDifference(rt, recs[:n/2], recs[n/2:]); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("%7d %9d %10d %11d %12d\n", n, s, sortR, prefR, rt.Rounds-before)
+		}(n)
 	}
 }
 

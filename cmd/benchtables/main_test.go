@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchtablesRecordsMPC drives the binary end to end in its quick
+// recorder mode: it must produce a valid BENCH-schema JSON file. One
+// invocation only — benchtables registers its -quick flag at package
+// init, so the process-global flag set cannot be rebuilt.
+func TestBenchtablesRecordsMPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchtables smoke test skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	os.Args = []string{"benchtables", "-mpc", "-quick", "-label", "smoke", "-o", out}
+	main()
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("recorded file is not valid JSON: %v", err)
+	}
+	if file.Schema != "smallbandwidth/bench-mpc/v1" {
+		t.Errorf("schema = %q", file.Schema)
+	}
+	rec, ok := file.Engines["smoke"]
+	if !ok || len(rec.Workloads) == 0 {
+		t.Fatalf("label %q missing or empty: %+v", "smoke", file.Engines)
+	}
+	for _, w := range rec.Workloads {
+		if w.WallNS <= 0 || w.Rounds <= 0 {
+			t.Errorf("workload %s recorded no measurements: %+v", w.Name, w)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// runCLI invokes main with a fresh flag set and the given arguments.
+// colorcli defines all its flags inside main, so resetting
+// flag.CommandLine lets one test process drive several invocations.
+func runCLI(t *testing.T, args ...string) {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("colorcli", flag.ExitOnError)
+	os.Args = append([]string{"colorcli"}, args...)
+	main()
+}
+
+// TestCLISmokeAllModels runs one small instance through every model the
+// CLI exposes: a compile-and-run guard that keeps the binary on the
+// go-test path. Failures inside the algorithms log.Fatal, aborting the
+// test process.
+func TestCLISmokeAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cli smoke test skipped in -short mode")
+	}
+	runCLI(t, "-graph", "cycle", "-n", "24", "-model", "congest")
+	runCLI(t, "-graph", "regular", "-n", "20", "-d", "4", "-model", "clique")
+	runCLI(t, "-graph", "grid", "-n", "16", "-model", "mpc")
+	// Sublinear memory needs a non-toy instance: at tiny n the S = Θ(√n)
+	// budget is so small that the IO audit (correctly) rejects the run.
+	runCLI(t, "-graph", "regular", "-n", "32", "-d", "4", "-model", "mpc", "-sublinear")
+	runCLI(t, "-graph", "cycle", "-n", "32", "-model", "decomposed")
+	runCLI(t, "-graph", "star", "-n", "12", "-model", "randomized")
+	runCLI(t, "-graph", "caveman", "-n", "24", "-model", "greedy", "-lists", "random")
+}

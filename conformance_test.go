@@ -1,0 +1,191 @@
+package smallbandwidth
+
+// Cross-model conformance suite: every theorem's algorithm runs on the
+// same seeded instances and must (a) return a proper coloring from the
+// lists, and (b) respect its theorem's resource bounds — CONGEST the
+// Theorem 1.1 round shape and the bandwidth cap, the decomposition
+// pipeline a diameter-independent polylog budget (Corollary 1.2), the
+// clique a budget far below CONGEST's diameter term (Theorem 1.3), and
+// MPC its per-machine memory and IO caps (Theorems 1.4/1.5). All four
+// simulators now share the sharded round engine, so this suite is the
+// behavioral lockdown for the shared substrate: a regression in the
+// engine's delivery order or accounting surfaces here for every model
+// at once.
+
+import (
+	"math"
+	"testing"
+)
+
+// conformanceCase is one seeded instance of the differential table.
+type conformanceCase struct {
+	name string
+	g    *Graph
+	// lists overrides the default (Δ+1)-instance when set.
+	lists func(g *Graph) (*Instance, error)
+}
+
+func conformanceTable() []conformanceCase {
+	return []conformanceCase{
+		{name: "path33", g: Path(33)},
+		{name: "star17", g: Star(16)},
+		{name: "regular24-4", g: RandomRegular(24, 4, 11)},
+		{name: "gnp28", g: GNP(28, 0.15, 7)},
+		{name: "clique12", g: Complete(12)},
+		{name: "regular20-lists", g: RandomRegular(20, 4, 3), lists: func(g *Graph) (*Instance, error) {
+			return RandomLists(g, 64, 2, 5)
+		}},
+	}
+}
+
+func log2ceil(x int) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(x)))
+}
+
+func buildInstance(t *testing.T, c conformanceCase) *Instance {
+	t.Helper()
+	if c.lists != nil {
+		inst, err := c.lists(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	return DeltaPlusOne(c.g)
+}
+
+// TestConformanceAcrossModels runs ColorCONGEST, ColorDecomposed,
+// ColorClique, and ColorMPC (both memory regimes) on every table
+// instance and checks colorings and resource bounds.
+func TestConformanceAcrossModels(t *testing.T) {
+	for _, c := range conformanceTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			n := c.g.N()
+			d := c.g.Diameter()
+			if d < 0 {
+				// Disconnected: components run in parallel, each bounded by
+				// its own diameter < n.
+				d = n
+			}
+			delta := c.g.MaxDegree()
+			logC := math.Max(log2ceil(int(inst.C)), 1)
+			logN := log2ceil(n)
+			logD := math.Max(log2ceil(delta), 1)
+			loglogC := math.Max(log2ceil(int(logC)), 1)
+
+			verify := func(model string, colors []uint32) {
+				t.Helper()
+				if err := inst.VerifyColoring(colors); err != nil {
+					t.Fatalf("%s: %v", model, err)
+				}
+			}
+
+			// Theorem 1.1: O(D·logn·logC·(logΔ+loglogC)) rounds, O(logn)-bit
+			// messages.
+			congest, err := ColorCONGEST(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify("congest", congest.Colors)
+			congestBound := 60 * float64(d+1) * logN * logC * (logD + loglogC)
+			if float64(congest.Stats.Rounds) > congestBound {
+				t.Errorf("congest rounds %d exceed Theorem 1.1 shape %.0f", congest.Stats.Rounds, congestBound)
+			}
+			if congest.Stats.MaxMessageWords > 4 {
+				t.Errorf("congest message of %d words breaks the bandwidth cap", congest.Stats.MaxMessageWords)
+			}
+
+			// Corollary 1.2: polylog rounds, independent of the diameter.
+			decomp, err := ColorDecomposed(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify("decomposed", decomp.Colors)
+			decompBound := 600 * math.Pow(logN, 4) * logC * (logD + loglogC)
+			if float64(decomp.ChargedRounds) > decompBound {
+				t.Errorf("decomposed rounds %d exceed the polylog budget %.0f (D=%d must not matter)",
+					decomp.ChargedRounds, decompBound, d)
+			}
+
+			// Theorem 1.3: O(loglogΔ·logC) rounds per iteration with O(log n)
+			// iterations and an O(1)-round local finish — far below the
+			// CONGEST diameter term.
+			clq, err := ColorClique(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify("clique", clq.Colors)
+			cliqueBound := 40 * (logN + 1) * logC * (log2ceil(int(logD)) + loglogC + 4)
+			if float64(clq.Stats.Rounds) > cliqueBound {
+				t.Errorf("clique rounds %d exceed Theorem 1.3 shape %.0f", clq.Stats.Rounds, cliqueBound)
+			}
+			if clq.Stats.MaxMessageWords > 4 {
+				t.Errorf("clique message of %d words breaks the bandwidth cap", clq.Stats.MaxMessageWords)
+			}
+
+			// Theorems 1.4/1.5: memory and per-round IO never exceed S.
+			for _, sub := range []bool{false, true} {
+				name := "mpc-linear"
+				if sub {
+					name = "mpc-sublinear"
+				}
+				res, err := ColorMPC(inst, MPCOptions{Sublinear: sub})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				verify(name, res.Colors)
+				if res.HighWaterMemory > res.S {
+					t.Errorf("%s: memory high-water %d > S = %d", name, res.HighWaterMemory, res.S)
+				}
+				if res.HighWaterIO > res.S {
+					t.Errorf("%s: IO high-water %d > S = %d", name, res.HighWaterIO, res.S)
+				}
+				if sub && n >= 24 && res.S >= 8*n {
+					t.Errorf("%s: S = %d is not sublinear in n = %d", name, res.S, n)
+				}
+			}
+
+			// Default instances are (Δ+1)-instances: colors stay below Δ+1.
+			if c.lists == nil {
+				for _, algo := range [][]uint32{congest.Colors, decomp.Colors, clq.Colors} {
+					for v, col := range algo {
+						if int(col) > c.g.Degree(v) {
+							t.Fatalf("node %d color %d outside its (deg+1)-list", v, col)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceAgainstGreedyOracle cross-checks the number of distinct
+// colors each model uses against the sequential greedy oracle: no
+// distributed run may need a larger color space than the instance
+// provides, and all four must agree the instance is solvable.
+func TestConformanceAgainstGreedyOracle(t *testing.T) {
+	for _, c := range conformanceTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			greedy := Greedy(inst)
+			if err := inst.VerifyColoring(greedy); err != nil {
+				t.Fatalf("greedy oracle failed: %v", err)
+			}
+			if _, err := ColorCONGEST(inst); err != nil {
+				t.Errorf("congest failed on a greedy-solvable instance: %v", err)
+			}
+			if _, err := ColorClique(inst); err != nil {
+				t.Errorf("clique failed on a greedy-solvable instance: %v", err)
+			}
+			if _, err := ColorMPC(inst); err != nil {
+				t.Errorf("mpc failed on a greedy-solvable instance: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestExampleRuns is a compile-and-run smoke test: the example must
+// execute end to end without failing (errors inside main log.Fatal,
+// which aborts the test process). It puts this binary on the
+// go-test-./... path so API drift is caught at test time, not by users.
+func TestExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	main()
+}

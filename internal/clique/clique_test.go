@@ -4,20 +4,24 @@ import (
 	"strings"
 	"testing"
 
+	"smallbandwidth/internal/engine"
 	"smallbandwidth/internal/graph"
 )
 
 func TestSimExchangeBasics(t *testing.T) {
 	s := NewSim(3, 4)
-	out := emptyOut(3)
-	out[0][1] = Message{42}
-	out[0][2] = Message{43, 44}
-	out[2][0] = Message{7}
+	defer s.Close()
+	out := NewOut(3)
+	out[0] = append(out[0], Directed{To: 1, Payload: Message{42}}, Directed{To: 2, Payload: Message{43, 44}})
+	out[2] = append(out[2], Directed{To: 0, Payload: Message{7}})
 	in, err := s.Exchange(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if in[1][0][0] != 42 || in[2][0][1] != 44 || in[0][2][0] != 7 {
+	m10, ok1 := Lookup(in[1], 0)
+	m20, ok2 := Lookup(in[2], 0)
+	m02, ok3 := Lookup(in[0], 2)
+	if !ok1 || !ok2 || !ok3 || m10[0] != 42 || m20[1] != 44 || m02[0] != 7 {
 		t.Error("messages misdelivered")
 	}
 	if s.Stats.Rounds != 1 || s.Stats.Messages != 3 || s.Stats.Words != 4 {
@@ -27,15 +31,21 @@ func TestSimExchangeBasics(t *testing.T) {
 
 func TestSimExchangeRejectsViolations(t *testing.T) {
 	s := NewSim(2, 2)
-	out := emptyOut(2)
-	out[0][1] = Message{1, 2, 3}
+	defer s.Close()
+	out := NewOut(2)
+	out[0] = append(out[0], Directed{To: 1, Payload: Message{1, 2, 3}})
 	if _, err := s.Exchange(out); err == nil {
 		t.Error("oversized message accepted")
 	}
-	out = emptyOut(2)
-	out[0][0] = Message{1}
+	out = NewOut(2)
+	out[0] = append(out[0], Directed{To: 0, Payload: Message{1}})
 	if _, err := s.Exchange(out); err == nil {
 		t.Error("self-send accepted")
+	}
+	out = NewOut(2)
+	out[0] = append(out[0], Directed{To: 1, Payload: Message{1}}, Directed{To: 1, Payload: Message{2}})
+	if _, err := s.Exchange(out); err == nil {
+		t.Error("double send to one destination accepted")
 	}
 }
 
@@ -234,4 +244,93 @@ func TestCliqueRoundsModest(t *testing.T) {
 		t.Errorf("clique used %d rounds, far above expectation", res.Stats.Rounds)
 	}
 	t.Logf("clique rounds: %d", res.Stats.Rounds)
+}
+
+// TestCliqueStatsDeterministicAcrossShards is the clique port of the
+// engine-rework regression: the sharded Exchange/RouteAll delivery must
+// leave Stats and the produced coloring bit-identical to the sequential
+// (workers=1) simulator. Run under -race in CI to guard the lock-free
+// scatter phases.
+func TestCliqueStatsDeterministicAcrossShards(t *testing.T) {
+	g := graph.MustRandomRegular(28, 5, 17)
+	inst := graph.DeltaPlusOneInstance(g)
+	gl := graph.GNP(24, 0.3, 9)
+	instL, err := graph.RandomListInstance(gl, 64, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, inst := range map[string]*graph.Instance{"regular5": inst, "gnplists": instL} {
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) *Result {
+				engine.SetForceShards(shards)
+				defer engine.SetForceShards(0)
+				res, err := ListColorClique(inst, Options{})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res
+			}
+			serial := run(1)
+			for _, shards := range []int{3, 8} {
+				res := run(shards)
+				if res.Stats != serial.Stats {
+					t.Errorf("shards=%d stats %+v != serial %+v", shards, res.Stats, serial.Stats)
+				}
+				if res.Iterations != serial.Iterations || res.MaxBatch != serial.MaxBatch ||
+					res.LocalFinishUncolored != serial.LocalFinishUncolored {
+					t.Errorf("shards=%d trajectory diverged from serial", shards)
+				}
+				for v := range serial.Colors {
+					if res.Colors[v] != serial.Colors[v] {
+						t.Fatalf("shards=%d node %d color %d != serial %d", shards, v, res.Colors[v], serial.Colors[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouteAllDeterministicAcrossShards checks the Lenzen-routing
+// primitive alone: identical receipt sequences and Stats at 1 vs many
+// workers.
+func TestRouteAllDeterministicAcrossShards(t *testing.T) {
+	const n = 30
+	build := func() [][]Routed {
+		out := make([][]Routed, n)
+		for v := 0; v < n; v++ {
+			for k := 0; k <= (v*5)%4; k++ {
+				out[v] = append(out[v], Routed{Dst: (v*11 + k*7) % n, Payload: Message{uint64(v), uint64(k)}})
+			}
+		}
+		return out
+	}
+	run := func(shards int) ([][]Received, Stats) {
+		engine.SetForceShards(shards)
+		defer engine.SetForceShards(0)
+		s := NewSim(n, 4)
+		defer s.Close()
+		in, err := s.RouteAll(build())
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return in, s.Stats
+	}
+	serialIn, serialStats := run(1)
+	for _, shards := range []int{3, 8} {
+		in, st := run(shards)
+		if st != serialStats {
+			t.Errorf("shards=%d stats %+v != serial %+v", shards, st, serialStats)
+		}
+		for v := range serialIn {
+			if len(in[v]) != len(serialIn[v]) {
+				t.Fatalf("shards=%d node %d got %d messages, want %d", shards, v, len(in[v]), len(serialIn[v]))
+			}
+			for i := range serialIn[v] {
+				a, b := in[v][i], serialIn[v][i]
+				if a.Src != b.Src || len(a.Payload) != len(b.Payload) || a.Payload[0] != b.Payload[0] || a.Payload[1] != b.Payload[1] {
+					t.Fatalf("shards=%d node %d message %d diverged", shards, v, i)
+				}
+			}
+		}
+	}
 }

@@ -41,6 +41,10 @@ type Result struct {
 	LocalFinishUncolored int
 }
 
+// clqNode keeps one node's protocol state. Neighbor sets are sorted
+// int32 slices, not maps: every iteration over them is in ascending
+// order, so the floating-point accumulations of the derandomization are
+// evaluated in one fixed order and the whole run is bit-deterministic.
 type clqNode struct {
 	id       int
 	alive    bool
@@ -49,9 +53,9 @@ type clqNode struct {
 	list     []uint32
 	cands    []uint32
 	nbrs     []int32
-	aliveNbr map[int]bool
-	conflict map[int]bool
-	nbrK     map[int][]uint64 // conflict neighbor -> leaf counts for current batch
+	aliveNbr []int32 // still-uncolored G-neighbors, sorted
+	conflict []int32 // conflict neighbors of the current iteration, sorted
+	nbrK     map[int][]uint64
 	phi      int
 }
 
@@ -78,6 +82,7 @@ func ListColorClique(inst *graph.Instance, opts Options) (*Result, error) {
 		opts.LambdaCap = 16
 	}
 	sim := NewSim(n, opts.MaxWords)
+	defer sim.Close()
 	delta := inst.G.MaxDegree()
 	logC := bits.Len32(inst.C - 1)
 	effLogC := max(logC, 1)
@@ -93,10 +98,7 @@ func ListColorClique(inst *graph.Instance, opts Options) (*Result, error) {
 			alive:    true,
 			list:     append([]uint32(nil), inst.Lists[v]...),
 			nbrs:     inst.G.Neighbors(v),
-			aliveNbr: map[int]bool{},
-		}
-		for _, w := range nd.nbrs {
-			nd.aliveNbr[int(w)] = true
+			aliveNbr: append([]int32(nil), inst.G.Neighbors(v)...),
 		}
 		nodes[v] = nd
 	}
@@ -172,7 +174,7 @@ type cliqueRun struct {
 // statusRounds aggregates (uncolored count, max uncolored degree) at the
 // leader and broadcasts them: 2 rounds.
 func (st *cliqueRun) statusRounds() (int, int, error) {
-	out := emptyOut(st.n)
+	out := NewOut(st.n)
 	for v, nd := range st.nodes {
 		if v == 0 {
 			continue
@@ -181,7 +183,7 @@ func (st *cliqueRun) statusRounds() (int, int, error) {
 		if nd.alive {
 			deg = len(nd.aliveNbr)
 		}
-		out[v][0] = Message{boolW(nd.alive), uint64(deg)}
+		out[v] = append(out[v], Directed{To: 0, Payload: Message{boolW(nd.alive), uint64(deg)}})
 	}
 	in, err := st.sim.Exchange(out)
 	if err != nil {
@@ -191,15 +193,15 @@ func (st *cliqueRun) statusRounds() (int, int, error) {
 	if st.nodes[0].alive {
 		u, dmax = 1, len(st.nodes[0].aliveNbr)
 	}
-	for _, msg := range in[0] {
-		if msg[0] == 1 {
+	for _, m := range in[0] {
+		if m.Payload[0] == 1 {
 			u++
-			dmax = max(dmax, int(msg[1]))
+			dmax = max(dmax, int(m.Payload[1]))
 		}
 	}
-	out = emptyOut(st.n)
+	out = NewOut(st.n)
 	for v := 1; v < st.n; v++ {
-		out[0][v] = Message{uint64(u), uint64(dmax)}
+		out[0] = append(out[0], Directed{To: int32(v), Payload: Message{uint64(u), uint64(dmax)}})
 	}
 	if _, err := st.sim.Exchange(out); err != nil {
 		return 0, 0, err
@@ -213,16 +215,14 @@ func (st *cliqueRun) iteration(w, deltaCur int) error {
 	// Trim candidate lists to exactly (uncolored degree + 1) colors so
 	// that ΣΦ₀ ≤ U − U/(Δ+1) (Equation (9) needs |L| ≤ Δ+1).
 	for _, nd := range st.nodes {
-		nd.conflict = map[int]bool{}
 		if !nd.alive {
 			nd.cands = nil
+			nd.conflict = nd.conflict[:0]
 			continue
 		}
 		keep := min(len(nd.aliveNbr)+1, len(nd.list))
 		nd.cands = append(nd.cands[:0], nd.list[:keep]...)
-		for u := range nd.aliveNbr {
-			nd.conflict[u] = true
-		}
+		nd.conflict = append(nd.conflict[:0], nd.aliveNbr...)
 	}
 	for fixed := 0; fixed < st.logC; {
 		ww := min(w, st.logC-fixed)
@@ -234,12 +234,12 @@ func (st *cliqueRun) iteration(w, deltaCur int) error {
 
 	// MIS-free keep step: nodes with ≤ 1 conflict exchange membership;
 	// the larger ID (or the unique V₁ member) keeps its candidate.
-	out := emptyOut(st.n)
+	out := NewOut(st.n)
 	for v, nd := range st.nodes {
 		nd.phi = len(nd.conflict)
 		if nd.alive && nd.phi <= 1 {
-			for u := range nd.conflict {
-				out[v][u] = Message{1}
+			for _, u := range nd.conflict {
+				out[v] = append(out[v], Directed{To: u, Payload: Message{1}})
 			}
 		}
 	}
@@ -255,11 +255,8 @@ func (st *cliqueRun) iteration(w, deltaCur int) error {
 		case nd.phi == 0:
 			nd.keepColor()
 		case nd.phi == 1:
-			partner := -1
-			for u := range nd.conflict {
-				partner = u
-			}
-			_, partnerInV1 := in[v][partner]
+			partner := int(nd.conflict[0])
+			_, partnerInV1 := Lookup(in[v], partner)
 			if !partnerInV1 || v > partner {
 				nd.keepColor()
 			}
@@ -267,12 +264,12 @@ func (st *cliqueRun) iteration(w, deltaCur int) error {
 	}
 
 	// Announcement: colored nodes tell all still-uncolored G-neighbors.
-	out = emptyOut(st.n)
+	out = NewOut(st.n)
 	for v, nd := range st.nodes {
 		if nd.colored && nd.alive {
 			// keepColor marks colored; alive flips below after announcing.
-			for u := range nd.aliveNbr {
-				out[v][u] = Message{uint64(nd.color)}
+			for _, u := range nd.aliveNbr {
+				out[v] = append(out[v], Directed{To: u, Payload: Message{uint64(nd.color)}})
 			}
 		}
 	}
@@ -284,13 +281,12 @@ func (st *cliqueRun) iteration(w, deltaCur int) error {
 		if nd.colored {
 			nd.alive = false
 		}
-		for u, msg := range in[v] {
-			delete(nd.aliveNbr, u)
+		for _, m := range in[v] {
+			nd.aliveNbr = graph.SortedRemove(nd.aliveNbr, m.From)
 			if !nd.colored {
-				nd.list = removeColor(nd.list, uint32(msg[0]))
+				nd.list = removeColor(nd.list, uint32(m.Payload[0]))
 			}
 		}
-		_ = v
 	}
 	return nil
 }
@@ -327,16 +323,16 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 	chunk := st.sim.maxWords - 1
 	for off := 0; off < paths; off += chunk {
 		end := min(off+chunk, paths)
-		out := emptyOut(st.n)
+		out := NewOut(st.n)
 		for v, nd := range st.nodes {
-			if !nd.alive {
+			if !nd.alive || len(nd.conflict) == 0 {
 				continue
 			}
-			for u := range nd.conflict {
-				msg := make(Message, 0, 1+end-off)
-				msg = append(msg, uint64(off))
-				msg = append(msg, nd.nbrK[nd.id][off:end]...)
-				out[v][u] = msg
+			msg := make(Message, 0, 1+end-off)
+			msg = append(msg, uint64(off))
+			msg = append(msg, nd.nbrK[nd.id][off:end]...)
+			for _, u := range nd.conflict {
+				out[v] = append(out[v], Directed{To: u, Payload: msg})
 			}
 		}
 		in, err := st.sim.Exchange(out)
@@ -344,14 +340,14 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 			return err
 		}
 		for v, nd := range st.nodes {
-			for u, msg := range in[v] {
-				if !nd.conflict[u] {
+			for _, rm := range in[v] {
+				if !graph.SortedHas(nd.conflict, rm.From) {
 					continue
 				}
-				if nd.nbrK[u] == nil {
-					nd.nbrK[u] = make([]uint64, paths)
+				if nd.nbrK[rm.From] == nil {
+					nd.nbrK[rm.From] = make([]uint64, paths)
 				}
-				copy(nd.nbrK[u][msg[0]:], msg[1:])
+				copy(nd.nbrK[rm.From][rm.Payload[0]:], rm.Payload[1:])
 			}
 		}
 	}
@@ -367,7 +363,7 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 		// Every node evaluates its owned conflict edges for every
 		// candidate assignment and sends each value to its responsible
 		// node (1 round).
-		out := emptyOut(st.n)
+		out := NewOut(st.n)
 		own := make([]float64, nAssign)
 		sums := make([][]float64, st.n)
 		for v, nd := range st.nodes {
@@ -378,7 +374,8 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 					for t := 0; t < segW; t++ {
 						bs.FixBit(segStart+t, r>>uint(t)&1 == 1)
 					}
-					for u := range nd.conflict {
+					for _, u32 := range nd.conflict {
+						u := int(u32)
 						if u < v {
 							continue // owner is the smaller endpoint
 						}
@@ -391,7 +388,7 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 					own[r] += vals[r]
 					continue
 				}
-				out[v][r] = Message{uint64(r), math.Float64bits(vals[r])}
+				out[v] = append(out[v], Directed{To: int32(r), Payload: Message{uint64(r), math.Float64bits(vals[r])}})
 			}
 		}
 		in, err := st.sim.Exchange(out)
@@ -400,16 +397,14 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 		}
 		for r := 0; r < nAssign && r < st.n; r++ {
 			sums[r] = []float64{own[r]}
-			for src := 0; src < st.n; src++ {
-				if msg, ok := in[r][src]; ok {
-					sums[r][0] += math.Float64frombits(msg[1])
-				}
+			for _, rm := range in[r] {
+				sums[r][0] += math.Float64frombits(rm.Payload[1])
 			}
 		}
 		// Responsible nodes forward to the leader (1 round).
-		out = emptyOut(st.n)
+		out = NewOut(st.n)
 		for r := 1; r < nAssign; r++ {
-			out[r][0] = Message{uint64(r), math.Float64bits(sums[r][0])}
+			out[r] = append(out[r], Directed{To: 0, Payload: Message{uint64(r), math.Float64bits(sums[r][0])}})
 		}
 		in, err = st.sim.Exchange(out)
 		if err != nil {
@@ -417,7 +412,7 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 		}
 		best, bestVal := 0, sums[0][0]
 		for r := 1; r < nAssign; r++ {
-			msg, ok := in[0][r]
+			msg, ok := Lookup(in[0], r)
 			if !ok {
 				return fmt.Errorf("clique: responsible node %d did not report", r)
 			}
@@ -426,9 +421,9 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 			}
 		}
 		// Broadcast the chosen assignment (1 round).
-		out = emptyOut(st.n)
+		out = NewOut(st.n)
 		for v := 1; v < st.n; v++ {
-			out[0][v] = Message{uint64(best)}
+			out[0] = append(out[0], Directed{To: int32(v), Payload: Message{uint64(best)}})
 		}
 		if _, err := st.sim.Exchange(out); err != nil {
 			return err
@@ -443,7 +438,7 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 	// Every alive node runs its w sequential coins under the fixed seed,
 	// extends its prefix, and exchanges the chosen path (1 round).
 	chosen := make([]uint64, st.n)
-	out := emptyOut(st.n)
+	out := NewOut(st.n)
 	for v, nd := range st.nodes {
 		if !nd.alive {
 			continue
@@ -468,8 +463,8 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 		if len(nd.cands) == 0 {
 			return fmt.Errorf("clique: node %d candidate set emptied", v)
 		}
-		for u := range nd.conflict {
-			out[v][u] = Message{path}
+		for _, u := range nd.conflict {
+			out[v] = append(out[v], Directed{To: u, Payload: Message{path}})
 		}
 	}
 	in, err := st.sim.Exchange(out)
@@ -480,11 +475,13 @@ func (st *cliqueRun) runBatch(w, fixed int) error {
 		if !nd.alive {
 			continue
 		}
-		for u := range nd.conflict {
-			if msg, ok := in[v][u]; !ok || msg[0] != chosen[v] {
-				delete(nd.conflict, u)
+		kept := nd.conflict[:0]
+		for _, u := range nd.conflict {
+			if msg, ok := Lookup(in[v], int(u)); ok && msg[0] == chosen[v] {
+				kept = append(kept, u)
 			}
 		}
+		nd.conflict = kept
 	}
 	return nil
 }
@@ -548,8 +545,8 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 		if !nd.alive {
 			continue
 		}
-		for u := range nd.aliveNbr {
-			if u > v {
+		for _, u := range nd.aliveNbr {
+			if int(u) > v {
 				out[v] = append(out[v], Routed{Dst: 0, Payload: Message{0, uint64(v), uint64(u)}})
 			}
 		}
@@ -574,7 +571,8 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 		return sub[v]
 	}
 	if nd := st.nodes[0]; nd.alive {
-		for u := range nd.aliveNbr {
+		for _, u32 := range nd.aliveNbr {
+			u := int(u32)
 			get(0).nbrs = append(get(0).nbrs, u)
 			get(u).nbrs = append(get(u).nbrs, 0)
 		}
@@ -618,7 +616,7 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 		}
 	}
 	// Distribute colors (1 round; the leader unicasts each node its color).
-	outX := emptyOut(st.n)
+	outX := NewOut(st.n)
 	for v, c := range assigned {
 		if v == 0 {
 			st.nodes[0].color = c
@@ -626,14 +624,14 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 			st.nodes[0].alive = false
 			continue
 		}
-		outX[0][v] = Message{uint64(c)}
+		outX[0] = append(outX[0], Directed{To: int32(v), Payload: Message{uint64(c)}})
 	}
 	inX, err := st.sim.Exchange(outX)
 	if err != nil {
 		return err
 	}
-	for v, nd := range st.nodes {
-		if msg, ok := inX[v][0]; ok {
+	for _, nd := range st.nodes {
+		if msg, ok := Lookup(inX[nd.id], 0); ok {
 			nd.color = uint32(msg[0])
 			nd.colored = true
 			nd.alive = false
@@ -689,14 +687,6 @@ func removeColor(list []uint32, c uint32) []uint32 {
 		}
 	}
 	return list
-}
-
-func emptyOut(n int) []map[int]Message {
-	out := make([]map[int]Message, n)
-	for i := range out {
-		out[i] = map[int]Message{}
-	}
-	return out
 }
 
 func sortInts(a []int) {

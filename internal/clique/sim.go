@@ -5,12 +5,17 @@
 // O(log n)-bit message to every other node — while the input graph G is
 // arbitrary.
 //
-// The simulator is a global round-loop (unlike the CONGEST package there
-// is no topology to exploit with per-node goroutines); the algorithm
-// keeps all per-node knowledge in per-node structs and moves information
-// only through Exchange/RouteAll, so the model's information constraints
-// hold by construction and every claimed O(1)-round step is paid for
-// explicitly.
+// The simulator is data-parallel rather than goroutine-per-node (there
+// is no topology to exploit; the algorithm keeps all per-node knowledge
+// in per-node structs and moves information only through
+// Exchange/RouteAll, so the model's information constraints hold by
+// construction and every claimed O(1)-round step is paid for
+// explicitly). Both primitives run on the shared sharded round engine
+// (internal/engine): outboxes are flat slices of directed messages, and
+// an engine.Scatter pass moves them — sender-sharded routing, then
+// receiver-sharded delivery in ascending sender order with per-worker
+// stats — so delivery is allocation-lean and bit-for-bit independent of
+// the worker count.
 //
 // Lenzen's deterministic routing theorem [Len13] is modeled by RouteAll:
 // the primitive checks its precondition (every node sends at most n and
@@ -21,26 +26,39 @@
 package clique
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+
+	"smallbandwidth/internal/engine"
 )
 
 // Message is a single clique message (counted words of Θ(log n) bits).
-type Message []uint64
+type Message = engine.Message
+
+// Directed is one outgoing message with its destination; out[v] in
+// Exchange is node v's flat outbox of these.
+type Directed = engine.Directed
+
+// Incoming is a delivered message with its sender; in[v] returned by
+// Exchange is sorted by ascending sender.
+type Incoming = engine.Incoming
 
 // Stats aggregates measured costs.
-type Stats struct {
-	Rounds          int
-	Messages        int64
-	Words           int64
-	MaxMessageWords int
-}
+type Stats = engine.Stats
 
-// Sim is one congested-clique simulation.
+// poolMin is the minimum number of nodes per delivery shard; below it
+// the pool collapses to the inline sequential path.
+const poolMin = 32
+
+// Sim is one congested-clique simulation. Call Close when done: the
+// engine pool's shard workers are persistent goroutines.
 type Sim struct {
 	n        int
 	maxWords int
 	Stats    Stats
+	p        *engine.Pool
+	inBuf    [][]Incoming // recycled inboxes: backing arrays live across rounds
 }
 
 // NewSim creates a simulator for n nodes with the given per-message word
@@ -55,34 +73,95 @@ func NewSim(n, maxWords int) *Sim {
 // MaxWords returns the per-message bandwidth cap.
 func (s *Sim) MaxWords() int { return s.maxWords }
 
-// Exchange performs one round: out[v][u] is the message from v to u.
-// It enforces one message per ordered pair and the word cap, and returns
-// in[v][u] = message received by v from u.
-func (s *Sim) Exchange(out []map[int]Message) ([]map[int]Message, error) {
+// Close releases the engine pool. The Sim must not be used afterwards.
+func (s *Sim) Close() {
+	if s.p != nil {
+		s.p.Close()
+		s.p = nil
+	}
+}
+
+func (s *Sim) pool() *engine.Pool {
+	if s.p == nil {
+		s.p = engine.NewPool(s.n, poolMin)
+	}
+	return s.p
+}
+
+// NewOut returns an empty outbox set for one Exchange round.
+func NewOut(n int) [][]Directed { return make([][]Directed, n) }
+
+// Lookup returns the message from node u in the sorted inbox box, if
+// any (binary search over the ascending sender order).
+func Lookup(box []Incoming, u int) (Message, bool) {
+	i, ok := slices.BinarySearchFunc(box, u, func(m Incoming, u int) int {
+		return cmp.Compare(m.From, u)
+	})
+	if !ok {
+		return nil, false
+	}
+	return box[i].Payload, true
+}
+
+// Exchange performs one round: out[v] is node v's outbox of directed
+// messages. It enforces one message per ordered pair and the word cap,
+// and returns in[v] = the messages received by v, sorted by ascending
+// sender. The returned inboxes are recycled: they are valid only until
+// the next Exchange call on this Sim.
+func (s *Sim) Exchange(out [][]Directed) ([][]Incoming, error) {
 	if len(out) != s.n {
 		return nil, fmt.Errorf("clique: Exchange with %d outboxes for %d nodes", len(out), s.n)
 	}
 	s.Stats.Rounds++
-	in := make([]map[int]Message, s.n)
-	for v := range in {
-		in[v] = map[int]Message{}
+	p := s.pool()
+	k := p.Shards()
+	if s.inBuf == nil {
+		s.inBuf = make([][]Incoming, s.n)
 	}
-	for v, box := range out {
-		for u, msg := range box {
-			if u == v || u < 0 || u >= s.n {
-				return nil, fmt.Errorf("clique: node %d sent to invalid destination %d", v, u)
+	in := s.inBuf
+	for v := range in {
+		in[v] = in[v][:0]
+	}
+	sendErr := make([]error, k)
+	recvErr := make([]error, k)
+	wstats := make([]engine.WorkerStats, k)
+	engine.Scatter(p,
+		func(wid, v int, emit func(int, Message)) {
+			if sendErr[wid] != nil {
+				return
 			}
-			if len(msg) == 0 || len(msg) > s.maxWords {
-				return nil, fmt.Errorf("clique: node %d message of %d words (cap %d)", v, len(msg), s.maxWords)
+			for _, d := range out[v] {
+				u := int(d.To)
+				if u == v || u < 0 || u >= s.n {
+					sendErr[wid] = fmt.Errorf("clique: node %d sent to invalid destination %d", v, u)
+					return
+				}
+				if len(d.Payload) == 0 || len(d.Payload) > s.maxWords {
+					sendErr[wid] = fmt.Errorf("clique: node %d message of %d words (cap %d)", v, len(d.Payload), s.maxWords)
+					return
+				}
+				wstats[wid].Note(len(d.Payload))
+				emit(u, d.Payload)
 			}
-			in[u][v] = msg
-			s.Stats.Messages++
-			s.Stats.Words += int64(len(msg))
-			if len(msg) > s.Stats.MaxMessageWords {
-				s.Stats.MaxMessageWords = len(msg)
+		},
+		func(wid int, src, dst int32, msg Message) {
+			box := in[dst]
+			if len(box) > 0 && box[len(box)-1].From == int(src) {
+				if recvErr[wid] == nil {
+					recvErr[wid] = fmt.Errorf("clique: node %d sent twice to %d in one round", src, dst)
+				}
+				return
+			}
+			in[dst] = append(box, Incoming{From: int(src), Payload: msg})
+		})
+	for _, errs := range [2][]error{sendErr, recvErr} {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
 	}
+	s.Stats.MergeWorkers(wstats)
 	return in, nil
 }
 
@@ -102,48 +181,61 @@ type Received struct {
 // every node sends ≤ n and receives ≤ n messages is delivered in 2
 // rounds; larger workloads are split into ⌈max/n⌉ such batches and
 // charged 2 rounds each, so a Θ(c·n) workload costs Θ(c) rounds exactly
-// as in [Len13].
+// as in [Len13]. in[v] is sorted by ascending source (ties in the
+// sender's emission order).
 func (s *Sim) RouteAll(out [][]Routed) ([][]Received, error) {
 	if len(out) != s.n {
 		return nil, fmt.Errorf("clique: RouteAll with %d outboxes for %d nodes", len(out), s.n)
 	}
-	recvCount := make([]int, s.n)
-	maxLoad := 1
-	for v, msgs := range out {
-		if len(msgs) > maxLoad {
-			maxLoad = len(msgs)
-		}
-		for _, m := range msgs {
-			if m.Dst < 0 || m.Dst >= s.n {
-				return nil, fmt.Errorf("clique: node %d routes to invalid destination %d", v, m.Dst)
+	p := s.pool()
+	k := p.Shards()
+	in := make([][]Received, s.n)
+	sendErr := make([]error, k)
+	wstats := make([]engine.WorkerStats, k)
+	maxSent := make([]int, k)
+	engine.Scatter(p,
+		func(wid, v int, emit func(int, Message)) {
+			if sendErr[wid] != nil {
+				return
 			}
-			if len(m.Payload) == 0 || len(m.Payload) > s.maxWords {
-				return nil, fmt.Errorf("clique: node %d routed message of %d words (cap %d)",
-					v, len(m.Payload), s.maxWords)
+			if len(out[v]) > maxSent[wid] {
+				maxSent[wid] = len(out[v])
 			}
-			recvCount[m.Dst]++
+			for _, m := range out[v] {
+				if m.Dst < 0 || m.Dst >= s.n {
+					sendErr[wid] = fmt.Errorf("clique: node %d routes to invalid destination %d", v, m.Dst)
+					return
+				}
+				if len(m.Payload) == 0 || len(m.Payload) > s.maxWords {
+					sendErr[wid] = fmt.Errorf("clique: node %d routed message of %d words (cap %d)",
+						v, len(m.Payload), s.maxWords)
+					return
+				}
+				wstats[wid].Note(len(m.Payload))
+				emit(m.Dst, m.Payload)
+			}
+		},
+		func(wid int, src, dst int32, msg Message) {
+			in[dst] = append(in[dst], Received{Src: int(src), Payload: msg})
+		})
+	for _, err := range sendErr {
+		if err != nil {
+			return nil, err
 		}
 	}
-	for _, c := range recvCount {
-		if c > maxLoad {
-			maxLoad = c
+	maxLoad := 1
+	for _, m := range maxSent {
+		if m > maxLoad {
+			maxLoad = m
+		}
+	}
+	for v := range in {
+		if len(in[v]) > maxLoad {
+			maxLoad = len(in[v])
 		}
 	}
 	batches := (maxLoad + s.n - 1) / s.n
 	s.Stats.Rounds += 2 * batches // Lenzen routing cost (substitution; see DESIGN.md)
-	in := make([][]Received, s.n)
-	for v, msgs := range out {
-		for _, m := range msgs {
-			s.Stats.Messages++
-			s.Stats.Words += int64(len(m.Payload))
-			if len(m.Payload) > s.Stats.MaxMessageWords {
-				s.Stats.MaxMessageWords = len(m.Payload)
-			}
-			in[m.Dst] = append(in[m.Dst], Received{Src: v, Payload: m.Payload})
-		}
-	}
-	for v := range in {
-		sort.SliceStable(in[v], func(i, j int) bool { return in[v][i].Src < in[v][j].Src })
-	}
+	s.Stats.MergeWorkers(wstats)
 	return in, nil
 }

@@ -20,38 +20,33 @@
 //
 // # Engine
 //
-// The engine is built to simulate 10⁵+-node graphs: the barrier is a
-// single atomic counter (no global mutex), nodes sleep on per-shard
-// release channels so wake-up is batched shard by shard, and the
-// message-delivery phase between rounds is sharded by *receiver* across
-// a pool of GOMAXPROCS workers. Receiver-sharding keeps delivery
-// deterministic — each inbox is filled by exactly one worker, in sorted
-// sender order, exactly as the sequential engine did — so Stats and
-// protocol behavior are bit-for-bit independent of the worker count.
-// Inboxes are double-buffered and outbox FIFOs recycle their backing
-// arrays, so steady-state rounds allocate nothing per edge.
+// The package is a thin adapter over the shared sharded round engine
+// (internal/engine), which the CONGESTED CLIQUE and MPC simulators run
+// on as well: the communication graph is the engine's Topology, and the
+// atomic barrier, receiver-sharded parallel delivery, double-buffered
+// inboxes, and dirty-edge skipping all live in the engine — one copy of
+// the hot path for all three models. Stats are bit-for-bit independent
+// of the engine's worker count.
 package congest
 
 import (
-	"errors"
-	"fmt"
-	"runtime"
-	"slices"
-	"sync"
-	"sync/atomic"
-
+	"smallbandwidth/internal/engine"
 	"smallbandwidth/internal/graph"
 )
 
 // Message is the payload of one CONGEST message: a short slice of 64-bit
 // words. In the standard parameterization one word models Θ(log n) bits.
-type Message []uint64
+type Message = engine.Message
 
 // Incoming is a delivered message together with its sender's node ID.
-type Incoming struct {
-	From    int
-	Payload Message
-}
+type Incoming = engine.Incoming
+
+// Stats aggregates the measured cost of a run.
+type Stats = engine.Stats
+
+// Ctx is a node's handle to the simulation. All methods must be called
+// only from that node's own goroutine.
+type Ctx = engine.Ctx
 
 // Config controls the simulation.
 type Config struct {
@@ -64,545 +59,13 @@ type Config struct {
 	MaxRounds int
 }
 
-func (c Config) withDefaults() Config {
-	if c.MaxWords == 0 {
-		c.MaxWords = 4
-	}
-	if c.MaxRounds == 0 {
-		c.MaxRounds = 1 << 22
-	}
-	return c
-}
-
-// Stats aggregates the measured cost of a run.
-type Stats struct {
-	Rounds          int   // number of synchronous rounds executed
-	Messages        int64 // messages delivered
-	Words           int64 // total words delivered
-	MaxMessageWords int   // widest single message observed
-}
-
-// errAborted unwinds node goroutines when any node fails.
-var errAborted = errors.New("congest: run aborted")
-
-// fifo is a per-directed-edge message queue. The head index replaces
-// memmove-on-pop, and a drained queue rewinds to reuse its backing
-// array, so steady-state traffic does not allocate.
-type fifo struct {
-	buf  []Message
-	head int
-}
-
-func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
-
-func (q *fifo) size() int { return len(q.buf) - q.head }
-
-func (q *fifo) pop() Message {
-	m := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
-		// A queue that never fully drains (steady backlog) would advance
-		// head and len in lockstep forever; compacting once the dead
-		// prefix reaches half the slice keeps memory O(backlog) at
-		// amortized O(1) per pop.
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil
-		}
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-	return m
-}
-
-// Ctx is a node's handle to the simulation. All methods must be called
-// only from that node's own goroutine.
-type Ctx struct {
-	r     *runner
-	id    int
-	shard int
-	nbr   []int32 // neighbor node IDs, sorted
-	// srcSlot[i] is this node's index in neighbor nbr[i]'s adjacency
-	// list: the slot of edge nbr[i]→me in that neighbor's outbox. It lets
-	// the delivery workers pull from sender queues receiver-side without
-	// any lookups.
-	srcSlot []int32
-
-	outbox  []fifo // per-neighbor FIFO of pending messages
-	sentNow []bool // direct Send already used this round, per neighbor
-
-	// inboxes double-buffers delivery: workers fill inboxes[cur] while
-	// the node still holds the slice returned by the previous Next.
-	inboxes [2][]Incoming
-	cur     int
-}
-
-// ID returns this node's identifier.
-func (c *Ctx) ID() int { return c.id }
-
-// N returns the number of nodes in the network (nodes know n, as is
-// standard in CONGEST algorithms).
-func (c *Ctx) N() int { return c.r.g.N() }
-
-// Degree returns this node's degree.
-func (c *Ctx) Degree() int { return len(c.nbr) }
-
-// Neighbors returns the sorted IDs of this node's neighbors. Read-only.
-func (c *Ctx) Neighbors() []int32 { return c.nbr }
-
-// NeighborIndex returns the index of neighbor ID in Neighbors(), or -1.
-// It is a binary search over the sorted adjacency slice: cache-resident
-// for the small degrees typical of CONGEST inputs, and with none of the
-// footprint of the per-node hash map it replaced.
-func (c *Ctx) NeighborIndex(id int) int {
-	if i, ok := slices.BinarySearch(c.nbr, int32(id)); ok {
-		return i
-	}
-	return -1
-}
-
-// Round returns the current round number (starting at 0).
-func (c *Ctx) Round() int { return c.r.round }
-
-// Send queues a message to neighbor `to` for delivery next round. It is a
-// protocol violation (aborting the run) to send twice to the same
-// neighbor in one round, to exceed the bandwidth cap, or to send to a
-// non-neighbor.
-func (c *Ctx) Send(to int, msg Message) {
-	i := c.NeighborIndex(to)
-	if i < 0 {
-		c.r.fail(fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to))
-		panic(errAborted)
-	}
-	if c.sentNow[i] {
-		c.r.fail(fmt.Errorf("congest: node %d sent twice to %d in round %d", c.id, to, c.r.round))
-		panic(errAborted)
-	}
-	if c.outbox[i].size() > 0 {
-		c.r.fail(fmt.Errorf("congest: node %d direct Send to %d with queued backlog", c.id, to))
-		panic(errAborted)
-	}
-	c.checkWidth(msg)
-	c.sentNow[i] = true
-	c.noteQueued(i)
-	c.outbox[i].push(msg)
-}
-
-// SendQueued appends a message to the FIFO for neighbor `to`; one queued
-// message per edge per direction is delivered each round, so bursts are
-// pipelined across rounds exactly as congestion forces in the real model.
-func (c *Ctx) SendQueued(to int, msg Message) {
-	i := c.NeighborIndex(to)
-	if i < 0 {
-		c.r.fail(fmt.Errorf("congest: node %d queued to non-neighbor %d", c.id, to))
-		panic(errAborted)
-	}
-	c.checkWidth(msg)
-	c.noteQueued(i)
-	c.outbox[i].push(msg)
-}
-
-// noteQueued maintains the dirty-edge accounting: called before a push
-// that makes the edge queue at index i non-empty.
-func (c *Ctx) noteQueued(i int) {
-	if c.outbox[i].size() == 0 {
-		c.r.dirty[c.shard].v.Add(1)
-	}
-}
-
-func (c *Ctx) checkWidth(msg Message) {
-	if len(msg) > c.r.cfg.MaxWords {
-		c.r.fail(fmt.Errorf("congest: node %d message of %d words exceeds cap %d",
-			c.id, len(msg), c.r.cfg.MaxWords))
-		panic(errAborted)
-	}
-	if len(msg) == 0 {
-		c.r.fail(fmt.Errorf("congest: node %d sent empty message", c.id))
-		panic(errAborted)
-	}
-}
-
-// Pending reports whether any queued messages remain undelivered.
-func (c *Ctx) Pending() bool {
-	for i := range c.outbox {
-		if c.outbox[i].size() > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// Next ends the node's current round and blocks until all nodes have done
-// so; it returns the messages delivered to this node for the new round.
-// The returned slice is valid until the following Next call.
-func (c *Ctx) Next() []Incoming {
-	if !c.r.barrierWait(c) {
-		panic(errAborted)
-	}
-	in := c.inboxes[c.cur]
-	c.cur ^= 1
-	c.inboxes[c.cur] = c.inboxes[c.cur][:0]
-	return in
-}
-
-// workerStats is one delivery worker's counters, accumulated privately
-// across the whole run (instead of contending on shared counters per
-// message) and merged into the global Stats once, after the workers
-// exit. Padded so each worker owns its cache line.
-type workerStats struct {
-	messages int64
-	words    int64
-	maxWords int
-	_        [5]uint64
-}
-
-// padCounter is a cache-line-padded atomic counter: the dirty-edge
-// counts are sharded by sender so concurrent senders don't serialize on
-// one line.
-type padCounter struct {
-	v atomic.Int64
-	_ [7]uint64
-}
-
-// roundTask tells a delivery worker to run one round: deliver its
-// receiver range, then wake its shard by closing old[shard].
-type roundTask struct {
-	old  []chan struct{} // the round's release channels, one per shard
-	done chan struct{}   // closed when every shard finished delivering
-}
-
-// runner drives one simulation.
-type runner struct {
-	g    *graph.Graph
-	cfg  Config
-	ctxs []*Ctx
-
-	// Barrier. pending counts the arrivals outstanding this round; the
-	// goroutine whose arrival (or departure) takes it to zero is the
-	// round leader and runs completeRound while every other node sleeps,
-	// so the leader may touch active/round/stats without locks. Sleepers
-	// wait on their shard's release channel; each channel is read before
-	// the pending decrement, which orders it before the leader's
-	// replacement write.
-	pending  atomic.Int64
-	leaves   atomic.Int64    // departures since the last barrier
-	releases []chan struct{} // one per shard; replaced by the leader each round
-	active   int64
-	round    int
-
-	aborted atomic.Bool
-	errMu   sync.Mutex
-	err     error
-
-	stats Stats
-
-	// Sharded delivery. Worker i owns receivers [bounds[i], bounds[i+1])
-	// and the matching release shard. tasks is nil when nshards == 1 and
-	// the leader delivers inline.
-	nshards int
-	bounds  []int
-	wstats  []workerStats
-	tasks   []chan roundTask
-	left    atomic.Int32
-	workers sync.WaitGroup
-
-	// dirty[s] counts non-empty edge queues whose sender lives in shard
-	// s. When the total is zero at a barrier the whole delivery scan is
-	// skipped, so protocol-free synchronization rounds (SpinUntil, pure
-	// barriers) cost O(shards) instead of O(m).
-	dirty []padCounter
-}
-
-// forceShards pins the worker/shard count when > 0. Test hook: the
-// determinism regression runs the same protocol with 1 and many shards
-// and asserts bit-identical Stats.
-var forceShards int
-
-// shardMin keeps tiny graphs on the sequential path: below this many
-// nodes per worker the dispatch overhead outweighs the parallelism.
-const shardMin = 256
-
-func shardCount(n int) int {
-	if forceShards > 0 {
-		return forceShards
-	}
-	s := runtime.GOMAXPROCS(0)
-	if lim := n / shardMin; s > lim {
-		s = lim
-	}
-	if s < 1 {
-		s = 1
-	}
-	return s
-}
-
-func (r *runner) fail(err error) {
-	r.errMu.Lock()
-	if r.err == nil {
-		r.err = err
-	}
-	r.errMu.Unlock()
-	r.aborted.Store(true)
-}
-
-// barrierWait blocks until all active nodes arrive; the arrival that
-// completes the barrier becomes the leader and advances the round.
-// Returns false if the run aborted.
-func (r *runner) barrierWait(c *Ctx) bool {
-	if r.aborted.Load() {
-		return false
-	}
-	// Read the release channel before decrementing: the leader only
-	// replaces r.releases after pending hits zero, i.e. after this read.
-	rel := r.releases[c.shard]
-	if r.pending.Add(-1) == 0 {
-		r.completeRound()
-	} else {
-		<-rel
-	}
-	return !r.aborted.Load()
-}
-
-// leave removes a finished node from the barrier population. A departure
-// counts as this round's arrival, and is deducted from the population at
-// the next barrier.
-func (r *runner) leave() {
-	r.leaves.Add(1)
-	if r.pending.Add(-1) == 0 {
-		r.completeRound()
-	}
-}
-
-// completeRound runs once per barrier, by the single goroutine whose
-// arrival or departure took pending to zero: apply departures, advance
-// the round, deliver queued messages across the worker shards, merge the
-// per-worker stats, and wake the sleepers shard by shard.
-func (r *runner) completeRound() {
-	r.active -= r.leaves.Swap(0)
-	if r.active <= 0 {
-		return // the last node left; nobody is sleeping
-	}
-	old := r.releases
-	fresh := make([]chan struct{}, r.nshards)
-	for i := range fresh {
-		fresh[i] = make(chan struct{})
-	}
-	r.releases = fresh
-	r.pending.Store(r.active)
-
-	r.round++
-	r.stats.Rounds++
-	if !r.aborted.Load() && r.stats.Rounds > r.cfg.MaxRounds {
-		r.fail(fmt.Errorf("congest: exceeded MaxRounds=%d", r.cfg.MaxRounds))
-	}
-	if r.aborted.Load() {
-		for _, ch := range old {
-			close(ch)
-		}
-		return
-	}
-	queued := int64(0)
-	for i := range r.dirty {
-		queued += r.dirty[i].v.Load()
-	}
-	if queued == 0 {
-		// Nothing anywhere in flight: skip the delivery scan entirely.
-		for _, ch := range old {
-			close(ch)
-		}
-		return
-	}
-	if r.tasks == nil {
-		r.deliverRange(0, r.g.N(), &r.wstats[0])
-		close(old[0])
-		return
-	}
-	r.left.Store(int32(r.nshards))
-	t := roundTask{old: old, done: make(chan struct{})}
-	for _, ch := range r.tasks {
-		ch <- t
-	}
-	// The leader is a node too: it may not run ahead into the next round
-	// until its own inbox is complete. Shard wake-ups proceed in the
-	// background.
-	<-t.done
-}
-
-func (r *runner) worker(wid int) {
-	defer r.workers.Done()
-	for t := range r.tasks[wid] {
-		r.deliverRange(r.bounds[wid], r.bounds[wid+1], &r.wstats[wid])
-		if r.left.Add(-1) == 0 {
-			close(t.done)
-		} else {
-			// Wake-up must wait for *all* shards: a woken node may send
-			// immediately, racing a slower worker still reading its
-			// outbox.
-			<-t.done
-		}
-		close(t.old[wid])
-	}
-}
-
-// deliverRange moves one queued message per directed edge into the
-// inboxes of receivers [lo, hi): each receiver walks its incident edges
-// in sorted sender order — the exact delivery order of the sequential
-// engine, so results do not depend on the worker count — and pops the
-// head of the sender's queue slot for that edge. Workers own disjoint
-// receiver ranges, and a sender's outbox slot and sentNow flag for an
-// edge are touched only by the worker owning the receiving endpoint, so
-// delivery needs no locks.
-func (r *runner) deliverRange(lo, hi int, ws *workerStats) {
-	for v := lo; v < hi; v++ {
-		c := r.ctxs[v]
-		buf := c.inboxes[c.cur]
-		for i, w := range c.nbr {
-			sc := r.ctxs[w]
-			slot := c.srcSlot[i]
-			q := &sc.outbox[slot]
-			if q.size() == 0 {
-				continue
-			}
-			msg := q.pop()
-			if q.size() == 0 {
-				r.dirty[sc.shard].v.Add(-1)
-			}
-			sc.sentNow[slot] = false
-			buf = append(buf, Incoming{From: int(w), Payload: msg})
-			ws.messages++
-			ws.words += int64(len(msg))
-			if len(msg) > ws.maxWords {
-				ws.maxWords = len(msg)
-			}
-		}
-		c.inboxes[c.cur] = buf
-	}
-}
-
-// mergeStats folds the per-worker counters into the global Stats, once,
-// after all node goroutines and workers have stopped. Sum and max are
-// order-independent, so the totals are bit-identical to a sequential
-// delivery no matter how rounds were sharded.
-func (r *runner) mergeStats() {
-	for i := range r.wstats {
-		ws := &r.wstats[i]
-		r.stats.Messages += ws.messages
-		r.stats.Words += ws.words
-		if ws.maxWords > r.stats.MaxMessageWords {
-			r.stats.MaxMessageWords = ws.maxWords
-		}
-	}
-}
-
 // Run executes program on every node of g until all node programs return.
 // It returns the measured statistics, or an error if any node violated
 // the model, panicked, or the round cap was hit.
 func Run(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
-	cfg = cfg.withDefaults()
-	n := g.N()
-	if n == 0 {
-		return &Stats{}, nil
-	}
-	r := &runner{
-		g:       g,
-		cfg:     cfg,
-		ctxs:    make([]*Ctx, n),
-		nshards: shardCount(n),
-		active:  int64(n),
-	}
-	r.pending.Store(int64(n))
-	r.releases = make([]chan struct{}, r.nshards)
-	for i := range r.releases {
-		r.releases[i] = make(chan struct{})
-	}
-	r.bounds = make([]int, r.nshards+1)
-	for i := 1; i <= r.nshards; i++ {
-		r.bounds[i] = i * n / r.nshards
-	}
-	r.wstats = make([]workerStats, r.nshards)
-	r.dirty = make([]padCounter, r.nshards)
-
-	shard := 0
-	for v := 0; v < n; v++ {
-		for v >= r.bounds[shard+1] {
-			shard++
-		}
-		nbr := g.Neighbors(v)
-		c := &Ctx{
-			r:       r,
-			id:      v,
-			shard:   shard,
-			nbr:     nbr,
-			srcSlot: make([]int32, len(nbr)),
-			outbox:  make([]fifo, len(nbr)),
-			sentNow: make([]bool, len(nbr)),
-		}
-		c.inboxes[0] = make([]Incoming, 0, len(nbr))
-		c.inboxes[1] = make([]Incoming, 0, len(nbr))
-		r.ctxs[v] = c
-	}
-	for v := 0; v < n; v++ {
-		c := r.ctxs[v]
-		for i, w := range c.nbr {
-			c.srcSlot[i] = int32(r.ctxs[w].NeighborIndex(v))
-		}
-	}
-	if r.nshards > 1 {
-		r.tasks = make([]chan roundTask, r.nshards)
-		for i := range r.tasks {
-			r.tasks[i] = make(chan roundTask, 1)
-		}
-		r.workers.Add(r.nshards)
-		for i := 0; i < r.nshards; i++ {
-			go r.worker(i)
-		}
-	}
-
-	var nodes sync.WaitGroup
-	nodes.Add(n)
-	for v := 0; v < n; v++ {
-		ctx := r.ctxs[v]
-		go func() {
-			defer nodes.Done()
-			defer r.leave()
-			defer func() {
-				if p := recover(); p != nil && !errors.Is(asErr(p), errAborted) {
-					r.fail(fmt.Errorf("congest: node %d panicked: %v", ctx.id, p))
-				}
-			}()
-			program(ctx)
-		}()
-	}
-	nodes.Wait()
-	if r.tasks != nil {
-		for _, ch := range r.tasks {
-			close(ch)
-		}
-		r.workers.Wait()
-	}
-	r.mergeStats()
-	// Messages queued by nodes that exited early are still delivered at
-	// later barriers; only messages left after the last node exits were
-	// truly dropped, which indicates a protocol bug.
-	if r.err == nil {
-		for _, ctx := range r.ctxs {
-			if ctx.Pending() {
-				r.err = fmt.Errorf("congest: node %d finished with undelivered queued messages", ctx.id)
-				break
-			}
-		}
-	}
-	st := r.stats
-	return &st, r.err
-}
-
-func asErr(p any) error {
-	if err, ok := p.(error); ok {
-		return err
-	}
-	return nil
+	return engine.Run(g, engine.Config{
+		Model:     "congest",
+		MaxWords:  cfg.MaxWords,
+		MaxRounds: cfg.MaxRounds,
+	}, program)
 }

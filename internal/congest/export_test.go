@@ -1,6 +1,9 @@
 package congest
 
-// SetForceShards pins the delivery/wake shard count for tests (0
-// restores automatic sizing). The determinism regression runs the same
-// protocol under 1 and many shards and asserts bit-identical results.
-func SetForceShards(n int) { forceShards = n }
+import "smallbandwidth/internal/engine"
+
+// SetForceShards pins the engine's delivery/wake shard count for tests
+// (0 restores automatic sizing). The determinism regression runs the
+// same protocol under 1 and many shards and asserts bit-identical
+// results.
+func SetForceShards(n int) { engine.SetForceShards(n) }

@@ -31,9 +31,6 @@ type Tree struct {
 	Size     int   // number of nodes in the tree (= n for spanning trees)
 }
 
-// MaxWords returns the per-message bandwidth cap of the simulation.
-func (c *Ctx) MaxWords() int { return c.r.cfg.MaxWords }
-
 // BuildBFSTree constructs a BFS spanning tree rooted at root using the
 // deterministic flooding protocol: the wave carries (depth, parent
 // choice), ties broken toward the smallest sender ID; subtree reports are

@@ -1,0 +1,595 @@
+// Package engine is the shared sharded round engine under all three
+// model simulators of this repository (CONGEST, CONGESTED CLIQUE, MPC).
+// It owns one copy of the parallel hot path:
+//
+//   - a barrier that is a single atomic counter (no global mutex), with
+//     nodes sleeping on per-shard release channels so wake-up is batched
+//     shard by shard;
+//   - message delivery sharded by *receiver* across a pool of
+//     GOMAXPROCS workers with per-worker stats, merged once the workers
+//     are quiescent (sums and max, so totals are order-independent);
+//   - double-buffered inboxes and head-indexed outbox FIFOs that recycle
+//     their backing arrays, so steady-state rounds allocate nothing per
+//     edge;
+//   - a sharded dirty-edge counter that skips the delivery scan entirely
+//     on quiet rounds.
+//
+// Receiver-sharding keeps everything deterministic: each inbox is filled
+// by exactly one worker, in ascending sender order — the exact delivery
+// order of a sequential scan — so Stats and protocol behavior are
+// bit-for-bit independent of the worker count.
+//
+// The engine is parameterized over an endpoint Topology. The CONGEST
+// simulator (internal/congest) is a thin adapter passing its
+// communication graph and running blocking per-node programs through
+// Run. The CLIQUE simulator runs its data-parallel all-to-all exchanges
+// on the same Pool via Scatter (all-to-all topology), and the MPC
+// Section 5 tools move records machine-to-machine through the Pool with
+// the per-round IO accounting folded into the shard workers.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is the payload of one message: a short slice of 64-bit words.
+// In the standard parameterization one word models Θ(log n) bits.
+type Message []uint64
+
+// Incoming is a delivered message together with its sender's ID.
+type Incoming struct {
+	From    int
+	Payload Message
+}
+
+// Directed is an outgoing message with an explicit destination, the unit
+// of the data-parallel exchange fabrics built on Scatter.
+type Directed struct {
+	To      int32
+	Payload Message
+}
+
+// Topology describes the endpoint structure the engine runs on: a fixed
+// set of endpoints 0..N-1 and, for each, the sorted list of peers it may
+// exchange messages with. *graph.Graph satisfies it directly (CONGEST);
+// AllToAll is the CONGESTED CLIQUE structure.
+type Topology interface {
+	N() int
+	// Neighbors returns the sorted peer IDs of v. The engine retains the
+	// slice; it must not change during a run.
+	Neighbors(v int) []int32
+}
+
+// AllToAll is the complete topology on n endpoints: every endpoint is a
+// peer of every other, as in the CONGESTED CLIQUE. It materializes n
+// rows of n−1 peers (Θ(n²) memory), which is inherent to running
+// per-node programs on a clique; the data-parallel clique simulator
+// avoids it by exchanging through Scatter instead.
+type AllToAll struct{ rows [][]int32 }
+
+// NewAllToAll builds the complete topology on n endpoints.
+func NewAllToAll(n int) *AllToAll {
+	rows := make([][]int32, n)
+	for v := range rows {
+		row := make([]int32, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				row = append(row, int32(u))
+			}
+		}
+		rows[v] = row
+	}
+	return &AllToAll{rows: rows}
+}
+
+// N returns the endpoint count.
+func (a *AllToAll) N() int { return len(a.rows) }
+
+// Neighbors returns the peers of v (all other endpoints), sorted.
+func (a *AllToAll) Neighbors(v int) []int32 { return a.rows[v] }
+
+// Config controls a Run.
+type Config struct {
+	// MaxWords is the bandwidth cap per edge per direction per round, in
+	// 64-bit words. Zero means the default of 4 words (≈ 4·64 bits, a
+	// constant number of O(log n)-bit words).
+	MaxWords int
+	// MaxRounds aborts runs that exceed this many rounds (default 1<<22),
+	// turning protocol livelocks into test failures instead of hangs.
+	MaxRounds int
+	// Model prefixes error messages with the simulated model's name
+	// ("congest", "clique", ...) so violations read in the caller's
+	// vocabulary. Empty means "engine".
+	Model string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWords == 0 {
+		c.MaxWords = 4
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1 << 22
+	}
+	if c.Model == "" {
+		c.Model = "engine"
+	}
+	return c
+}
+
+// Stats aggregates the measured cost of a run.
+type Stats struct {
+	Rounds          int   // number of synchronous rounds executed
+	Messages        int64 // messages delivered
+	Words           int64 // total words delivered
+	MaxMessageWords int   // widest single message observed
+}
+
+// errAborted unwinds node goroutines when any node fails.
+var errAborted = errors.New("engine: run aborted")
+
+// fifo is a per-directed-edge message queue. The head index replaces
+// memmove-on-pop, and a drained queue rewinds to reuse its backing
+// array, so steady-state traffic does not allocate.
+type fifo struct {
+	buf  []Message
+	head int
+}
+
+func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
+
+func (q *fifo) size() int { return len(q.buf) - q.head }
+
+func (q *fifo) pop() Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		// A queue that never fully drains (steady backlog) would advance
+		// head and len in lockstep forever; compacting once the dead
+		// prefix reaches half the slice keeps memory O(backlog) at
+		// amortized O(1) per pop.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return m
+}
+
+// Ctx is a node's handle to the simulation. All methods must be called
+// only from that node's own goroutine.
+type Ctx struct {
+	r     *runner
+	id    int
+	shard int
+	nbr   []int32 // peer node IDs, sorted
+	// srcSlot[i] is this node's index in peer nbr[i]'s adjacency list:
+	// the slot of edge nbr[i]→me in that peer's outbox. It lets the
+	// delivery workers pull from sender queues receiver-side without any
+	// lookups.
+	srcSlot []int32
+
+	outbox  []fifo // per-peer FIFO of pending messages
+	sentNow []bool // direct Send already used this round, per peer
+
+	// inboxes double-buffers delivery: workers fill inboxes[cur] while
+	// the node still holds the slice returned by the previous Next.
+	inboxes [2][]Incoming
+	cur     int
+}
+
+// ID returns this node's identifier.
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of nodes in the network (nodes know n, as is
+// standard in the simulated models).
+func (c *Ctx) N() int { return c.r.n }
+
+// Degree returns this node's degree (peer count).
+func (c *Ctx) Degree() int { return len(c.nbr) }
+
+// Neighbors returns the sorted IDs of this node's peers. Read-only.
+func (c *Ctx) Neighbors() []int32 { return c.nbr }
+
+// MaxWords returns the per-message bandwidth cap of the simulation.
+func (c *Ctx) MaxWords() int { return c.r.cfg.MaxWords }
+
+// NeighborIndex returns the index of peer ID in Neighbors(), or -1.
+// It is a binary search over the sorted adjacency slice: cache-resident
+// for the small degrees typical of CONGEST inputs, and with none of the
+// footprint of a per-node hash map.
+func (c *Ctx) NeighborIndex(id int) int {
+	if i, ok := slices.BinarySearch(c.nbr, int32(id)); ok {
+		return i
+	}
+	return -1
+}
+
+// Round returns the current round number (starting at 0).
+func (c *Ctx) Round() int { return c.r.round }
+
+// Send queues a message to peer `to` for delivery next round. It is a
+// protocol violation (aborting the run) to send twice to the same peer
+// in one round, to exceed the bandwidth cap, or to send to a non-peer.
+func (c *Ctx) Send(to int, msg Message) {
+	i := c.NeighborIndex(to)
+	if i < 0 {
+		c.r.fail(fmt.Errorf("%s: node %d sent to non-neighbor %d", c.r.cfg.Model, c.id, to))
+		panic(errAborted)
+	}
+	if c.sentNow[i] {
+		c.r.fail(fmt.Errorf("%s: node %d sent twice to %d in round %d", c.r.cfg.Model, c.id, to, c.r.round))
+		panic(errAborted)
+	}
+	if c.outbox[i].size() > 0 {
+		c.r.fail(fmt.Errorf("%s: node %d direct Send to %d with queued backlog", c.r.cfg.Model, c.id, to))
+		panic(errAborted)
+	}
+	c.checkWidth(msg)
+	c.sentNow[i] = true
+	c.noteQueued(i)
+	c.outbox[i].push(msg)
+}
+
+// SendQueued appends a message to the FIFO for peer `to`; one queued
+// message per edge per direction is delivered each round, so bursts are
+// pipelined across rounds exactly as congestion forces in the real model.
+func (c *Ctx) SendQueued(to int, msg Message) {
+	i := c.NeighborIndex(to)
+	if i < 0 {
+		c.r.fail(fmt.Errorf("%s: node %d queued to non-neighbor %d", c.r.cfg.Model, c.id, to))
+		panic(errAborted)
+	}
+	c.checkWidth(msg)
+	c.noteQueued(i)
+	c.outbox[i].push(msg)
+}
+
+// noteQueued maintains the dirty-edge accounting: called before a push
+// that makes the edge queue at index i non-empty.
+func (c *Ctx) noteQueued(i int) {
+	if c.outbox[i].size() == 0 {
+		c.r.dirty[c.shard].v.Add(1)
+	}
+}
+
+func (c *Ctx) checkWidth(msg Message) {
+	if len(msg) > c.r.cfg.MaxWords {
+		c.r.fail(fmt.Errorf("%s: node %d message of %d words exceeds cap %d",
+			c.r.cfg.Model, c.id, len(msg), c.r.cfg.MaxWords))
+		panic(errAborted)
+	}
+	if len(msg) == 0 {
+		c.r.fail(fmt.Errorf("%s: node %d sent empty message", c.r.cfg.Model, c.id))
+		panic(errAborted)
+	}
+}
+
+// Pending reports whether any queued messages remain undelivered.
+func (c *Ctx) Pending() bool {
+	for i := range c.outbox {
+		if c.outbox[i].size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Next ends the node's current round and blocks until all nodes have done
+// so; it returns the messages delivered to this node for the new round.
+// The returned slice is valid until the following Next call.
+func (c *Ctx) Next() []Incoming {
+	if !c.r.barrierWait(c) {
+		panic(errAborted)
+	}
+	in := c.inboxes[c.cur]
+	c.cur ^= 1
+	c.inboxes[c.cur] = c.inboxes[c.cur][:0]
+	return in
+}
+
+// padCounter is a cache-line-padded atomic counter: the dirty-edge
+// counts are sharded by sender so concurrent senders don't serialize on
+// one line.
+type padCounter struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// roundTask is one round's delivery coordination: deliver every shard's
+// receiver range, then wake each shard by closing old[shard].
+type roundTask struct {
+	old  []chan struct{} // the round's release channels, one per shard
+	done chan struct{}   // closed when every shard finished delivering
+}
+
+// runner drives one simulation. The Topology is consumed during setup
+// in Run; afterwards everything the engine needs lives in the Ctxs.
+type runner struct {
+	n    int
+	cfg  Config
+	ctxs []*Ctx
+
+	// Barrier. pending counts the arrivals outstanding this round; the
+	// goroutine whose arrival (or departure) takes it to zero is the
+	// round leader and runs completeRound while every other node sleeps,
+	// so the leader may touch active/round/stats without locks. Sleepers
+	// wait on their shard's release channel; each channel is read before
+	// the pending decrement, which orders it before the leader's
+	// replacement write.
+	pending  atomic.Int64
+	leaves   atomic.Int64    // departures since the last barrier
+	releases []chan struct{} // one per shard; replaced by the leader each round
+	active   int64
+	round    int
+
+	aborted atomic.Bool
+	errMu   sync.Mutex
+	err     error
+
+	stats Stats
+
+	// Sharded delivery. Worker i of the pool owns receivers [Bounds(i))
+	// and the matching release shard. shardFns are pre-allocated per-shard
+	// closures; cur is the round task they read, written by the leader
+	// before dispatch (ordered by the task-channel send).
+	pool     *Pool
+	wstats   []WorkerStats
+	shardFns []func(int)
+	cur      roundTask
+	left     atomic.Int32
+
+	// dirty[s] counts non-empty edge queues whose sender lives in shard
+	// s. When the total is zero at a barrier the whole delivery scan is
+	// skipped, so protocol-free synchronization rounds (SpinUntil, pure
+	// barriers) cost O(shards) instead of O(m).
+	dirty []padCounter
+}
+
+// shardMin keeps tiny topologies on the sequential path: below this many
+// nodes per worker the dispatch overhead outweighs the parallelism.
+const shardMin = 256
+
+func (r *runner) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.aborted.Store(true)
+}
+
+// barrierWait blocks until all active nodes arrive; the arrival that
+// completes the barrier becomes the leader and advances the round.
+// Returns false if the run aborted.
+func (r *runner) barrierWait(c *Ctx) bool {
+	if r.aborted.Load() {
+		return false
+	}
+	// Read the release channel before decrementing: the leader only
+	// replaces r.releases after pending hits zero, i.e. after this read.
+	rel := r.releases[c.shard]
+	if r.pending.Add(-1) == 0 {
+		r.completeRound()
+	} else {
+		<-rel
+	}
+	return !r.aborted.Load()
+}
+
+// leave removes a finished node from the barrier population. A departure
+// counts as this round's arrival, and is deducted from the population at
+// the next barrier.
+func (r *runner) leave() {
+	r.leaves.Add(1)
+	if r.pending.Add(-1) == 0 {
+		r.completeRound()
+	}
+}
+
+// completeRound runs once per barrier, by the single goroutine whose
+// arrival or departure took pending to zero: apply departures, advance
+// the round, deliver queued messages across the worker shards, and wake
+// the sleepers shard by shard.
+func (r *runner) completeRound() {
+	r.active -= r.leaves.Swap(0)
+	if r.active <= 0 {
+		return // the last node left; nobody is sleeping
+	}
+	nshards := r.pool.Shards()
+	old := r.releases
+	fresh := make([]chan struct{}, nshards)
+	for i := range fresh {
+		fresh[i] = make(chan struct{})
+	}
+	r.releases = fresh
+	r.pending.Store(r.active)
+
+	r.round++
+	r.stats.Rounds++
+	if !r.aborted.Load() && r.stats.Rounds > r.cfg.MaxRounds {
+		r.fail(fmt.Errorf("%s: exceeded MaxRounds=%d", r.cfg.Model, r.cfg.MaxRounds))
+	}
+	if r.aborted.Load() {
+		for _, ch := range old {
+			close(ch)
+		}
+		return
+	}
+	queued := int64(0)
+	for i := range r.dirty {
+		queued += r.dirty[i].v.Load()
+	}
+	if queued == 0 {
+		// Nothing anywhere in flight: skip the delivery scan entirely.
+		for _, ch := range old {
+			close(ch)
+		}
+		return
+	}
+	if nshards == 1 {
+		r.deliverRange(0, r.n, &r.wstats[0])
+		close(old[0])
+		return
+	}
+	r.left.Store(int32(nshards))
+	r.cur = roundTask{old: old, done: make(chan struct{})}
+	t := r.cur
+	for wid := 0; wid < nshards; wid++ {
+		r.pool.Submit(wid, r.shardFns[wid])
+	}
+	// The leader is a node too: it may not run ahead into the next round
+	// until its own inbox is complete. Shard wake-ups proceed in the
+	// background.
+	<-t.done
+}
+
+// runShard is one worker's share of a round: deliver its receiver range,
+// then wake its release shard once every shard has delivered. The task
+// read from r.cur is ordered after the leader's write by the pool's
+// task-channel send.
+func (r *runner) runShard(wid int) {
+	t := r.cur
+	lo, hi := r.pool.Bounds(wid)
+	r.deliverRange(lo, hi, &r.wstats[wid])
+	if r.left.Add(-1) == 0 {
+		close(t.done)
+	} else {
+		// Wake-up must wait for *all* shards: a woken node may send
+		// immediately, racing a slower worker still reading its outbox.
+		<-t.done
+	}
+	close(t.old[wid])
+}
+
+// deliverRange moves one queued message per directed edge into the
+// inboxes of receivers [lo, hi): each receiver walks its incident edges
+// in sorted sender order — the exact delivery order of the sequential
+// engine, so results do not depend on the worker count — and pops the
+// head of the sender's queue slot for that edge. Workers own disjoint
+// receiver ranges, and a sender's outbox slot and sentNow flag for an
+// edge are touched only by the worker owning the receiving endpoint, so
+// delivery needs no locks.
+func (r *runner) deliverRange(lo, hi int, ws *WorkerStats) {
+	for v := lo; v < hi; v++ {
+		c := r.ctxs[v]
+		buf := c.inboxes[c.cur]
+		for i, w := range c.nbr {
+			sc := r.ctxs[w]
+			slot := c.srcSlot[i]
+			q := &sc.outbox[slot]
+			if q.size() == 0 {
+				continue
+			}
+			msg := q.pop()
+			if q.size() == 0 {
+				r.dirty[sc.shard].v.Add(-1)
+			}
+			sc.sentNow[slot] = false
+			buf = append(buf, Incoming{From: int(w), Payload: msg})
+			ws.Note(len(msg))
+		}
+		c.inboxes[c.cur] = buf
+	}
+}
+
+// Run executes program on every endpoint of top until all node programs
+// return. It returns the measured statistics, or an error if any node
+// violated the model, panicked, or the round cap was hit.
+func Run(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	n := top.N()
+	if n == 0 {
+		return &Stats{}, nil
+	}
+	r := &runner{
+		n:      n,
+		cfg:    cfg,
+		ctxs:   make([]*Ctx, n),
+		pool:   NewPool(n, shardMin),
+		active: int64(n),
+	}
+	defer r.pool.Close()
+	nshards := r.pool.Shards()
+	r.pending.Store(int64(n))
+	r.releases = make([]chan struct{}, nshards)
+	for i := range r.releases {
+		r.releases[i] = make(chan struct{})
+	}
+	r.wstats = make([]WorkerStats, nshards)
+	r.dirty = make([]padCounter, nshards)
+	r.shardFns = make([]func(int), nshards)
+	for i := 0; i < nshards; i++ {
+		wid := i
+		r.shardFns[i] = func(int) { r.runShard(wid) }
+	}
+
+	for v := 0; v < n; v++ {
+		nbr := top.Neighbors(v)
+		c := &Ctx{
+			r:       r,
+			id:      v,
+			shard:   r.pool.ShardOf(v),
+			nbr:     nbr,
+			srcSlot: make([]int32, len(nbr)),
+			outbox:  make([]fifo, len(nbr)),
+			sentNow: make([]bool, len(nbr)),
+		}
+		c.inboxes[0] = make([]Incoming, 0, len(nbr))
+		c.inboxes[1] = make([]Incoming, 0, len(nbr))
+		r.ctxs[v] = c
+	}
+	for v := 0; v < n; v++ {
+		c := r.ctxs[v]
+		for i, w := range c.nbr {
+			c.srcSlot[i] = int32(r.ctxs[w].NeighborIndex(v))
+		}
+	}
+
+	var nodes sync.WaitGroup
+	nodes.Add(n)
+	for v := 0; v < n; v++ {
+		ctx := r.ctxs[v]
+		go func() {
+			defer nodes.Done()
+			defer r.leave()
+			defer func() {
+				if p := recover(); p != nil && !errors.Is(asErr(p), errAborted) {
+					r.fail(fmt.Errorf("%s: node %d panicked: %v", cfg.Model, ctx.id, p))
+				}
+			}()
+			program(ctx)
+		}()
+	}
+	nodes.Wait()
+	r.stats.MergeWorkers(r.wstats)
+	// Messages queued by nodes that exited early are still delivered at
+	// later barriers; only messages left after the last node exits were
+	// truly dropped, which indicates a protocol bug.
+	if r.err == nil {
+		for _, ctx := range r.ctxs {
+			if ctx.Pending() {
+				r.err = fmt.Errorf("%s: node %d finished with undelivered queued messages", cfg.Model, ctx.id)
+				break
+			}
+		}
+	}
+	st := r.stats
+	return &st, r.err
+}
+
+func asErr(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return nil
+}

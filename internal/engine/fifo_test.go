@@ -1,4 +1,4 @@
-package congest
+package engine
 
 import "testing"
 

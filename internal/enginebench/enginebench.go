@@ -1,21 +1,38 @@
-// Package enginebench defines the standard CONGEST-engine benchmark
-// workloads in one place, shared by the Go benchmarks in bench_test.go
-// and the BENCH_congest.json recorder (cmd/benchtables -engine), so the
-// two can never measure subtly different things:
+// Package enginebench defines the standard simulator benchmark workloads
+// in one place, shared by the Go benchmarks in bench_test.go and the
+// BENCH_*.json recorders (cmd/benchtables -engine/-clique/-mpc), so the
+// two can never measure subtly different things.
+//
+// CONGEST workloads (BENCH_congest.json):
 //
 //   - Graph:  the benchmark topologies (4-regular, sparse GNP deg≈16);
 //   - Color:  one partial-coloring iteration of Theorem 1.1, the
 //     hottest realistic workload for the simulator;
 //   - Barrier: empty rounds isolating wake/sleep synchronization;
 //   - Flood:  full-neighborhood traffic isolating message delivery.
+//
+// CONGESTED CLIQUE workloads (BENCH_clique.json):
+//
+//   - CliqueFlood: all-to-all one-word traffic, n·(n−1) messages per
+//     round — pure Exchange delivery cost;
+//   - CliqueColor: ListColorClique (Theorem 1.3) end to end.
+//
+// MPC workloads (BENCH_mpc.json):
+//
+//   - MPCSortRanks: distributed sort + group ranks/sizes over millions
+//     of records — the record-moving hot path of the Section 5 tools;
+//   - MPCColor: ListColorMPC (Theorem 1.4) end to end.
 package enginebench
 
 import (
 	"fmt"
 
+	"smallbandwidth/internal/clique"
 	"smallbandwidth/internal/congest"
 	"smallbandwidth/internal/core"
 	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/mpc"
+	"smallbandwidth/internal/prng"
 )
 
 // Kinds are the standard benchmark topologies, in recording order.
@@ -64,4 +81,88 @@ func Flood(g *graph.Graph) (*congest.Stats, error) {
 			ctx.Next()
 		}
 	})
+}
+
+// CliqueFloodRounds fixes the clique flood workload's length.
+const CliqueFloodRounds = 4
+
+// CliqueFlood runs an n-node all-to-all flood: every node sends a
+// one-word message to every other node in each of CliqueFloodRounds
+// rounds — n·(n−1) messages per round of pure Exchange delivery cost.
+func CliqueFlood(n int) (clique.Stats, error) {
+	sim := clique.NewSim(n, 4)
+	defer sim.Close()
+	for r := 0; r < CliqueFloodRounds; r++ {
+		out := clique.NewOut(n)
+		for v := range out {
+			box := make([]clique.Directed, 0, n-1)
+			for u := 0; u < n; u++ {
+				if u != v {
+					box = append(box, clique.Directed{To: int32(u), Payload: clique.Message{uint64(r)}})
+				}
+			}
+			out[v] = box
+		}
+		if _, err := sim.Exchange(out); err != nil {
+			return clique.Stats{}, err
+		}
+	}
+	return sim.Stats, nil
+}
+
+// CliqueColor runs ListColorClique (Theorem 1.3) on the (Δ+1)-instance
+// of a random d-regular graph (seed 1).
+func CliqueColor(n, d int) (*clique.Result, error) {
+	g := graph.MustRandomRegular(n, d, 1)
+	return clique.ListColorClique(graph.DeltaPlusOneInstance(g), clique.Options{})
+}
+
+// MPCSortMachines fixes the machine count of the MPC sort workload.
+const MPCSortMachines = 64
+
+// MPCRecords builds the deterministic record set of the sort workload.
+func MPCRecords(n int) []mpc.Rec {
+	src := prng.New(7)
+	recs := make([]mpc.Rec, n)
+	for i := range recs {
+		recs[i] = mpc.Rec{src.Uint64() % uint64(n), src.Uint64(), src.Uint64() % 1024}
+	}
+	return recs
+}
+
+// MPCSortRanks distributes n records over MPCSortMachines machines,
+// sorts them, and computes group ranks and group sizes — the
+// record-moving hot path of the Lemma 5.1 tools. It returns the rounds
+// charged by the runtime.
+func MPCSortRanks(n int) (int, error) {
+	s := max(24*n/MPCSortMachines, 4096)
+	rt, err := mpc.NewRuntime(MPCSortMachines, s)
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	d, err := mpc.NewDist(rt, MPCRecords(n))
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Sort(rt); err != nil {
+		return 0, err
+	}
+	if !d.IsSorted() {
+		return 0, fmt.Errorf("enginebench: mpc sort produced unsorted output")
+	}
+	if err := d.GroupRanks(rt); err != nil {
+		return 0, err
+	}
+	if err := d.GroupSizes(rt); err != nil {
+		return 0, err
+	}
+	return rt.Rounds, nil
+}
+
+// MPCColor runs ListColorMPC (Theorem 1.4, linear memory) on the
+// (Δ+1)-instance of a random d-regular graph (seed 1).
+func MPCColor(n, d int) (*mpc.Result, error) {
+	g := graph.MustRandomRegular(n, d, 1)
+	return mpc.ListColorMPC(graph.DeltaPlusOneInstance(g), mpc.Options{})
 }

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"testing"
+)
+
+// checkInvariants asserts the structural invariants every Graph must
+// hold: sorted adjacency, no self-loops, no duplicate edges, symmetric
+// adjacency, and degree sum equal to twice the edge count.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	degSum := 0
+	for v := 0; v < g.N(); v++ {
+		adj := g.Neighbors(v)
+		degSum += len(adj)
+		for i, w := range adj {
+			if int(w) == v {
+				t.Fatalf("self-loop at node %d", v)
+			}
+			if int(w) < 0 || int(w) >= g.N() {
+				t.Fatalf("node %d has out-of-range neighbor %d", v, w)
+			}
+			if i > 0 && adj[i-1] >= w {
+				t.Fatalf("adjacency of %d not strictly sorted: %v", v, adj)
+			}
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+	if degSum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2·M = %d", degSum, 2*g.M())
+	}
+}
+
+// FuzzBuilder feeds arbitrary byte streams through the Builder as edge
+// lists: invalid edges must error (never panic), and whatever Build
+// produces must satisfy every graph invariant.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 0})
+	f.Add(uint8(3), []byte{0, 1, 0, 1}) // duplicate
+	f.Add(uint8(2), []byte{1, 1})       // self-loop
+	f.Add(uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, n uint8, edges []byte) {
+		nn := int(n % 65)
+		b := NewBuilder(nn)
+		added := 0
+		for i := 0; i+1 < len(edges) && i < 256; i += 2 {
+			u, v := int(edges[i]), int(edges[i+1])
+			err := b.AddEdge(u, v)
+			if err == nil {
+				added++
+			} else if u < nn && v < nn && u != v && !dupeErr(err) {
+				// The only legitimate error for in-range distinct endpoints
+				// is a duplicate.
+				t.Fatalf("AddEdge(%d,%d) on n=%d failed unexpectedly: %v", u, v, nn, err)
+			}
+		}
+		g := b.Build()
+		if g.N() != nn {
+			t.Fatalf("built %d nodes, want %d", g.N(), nn)
+		}
+		if g.M() != added {
+			t.Fatalf("built %d edges, accepted %d", g.M(), added)
+		}
+		checkInvariants(t, g)
+	})
+}
+
+func dupeErr(err error) bool {
+	return err != nil && containsStr(err.Error(), "duplicate")
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzGNP drives the O(n+m) GNP sampler across the whole parameter
+// space: every produced graph must satisfy the invariants, and the
+// sampler must be deterministic in its seed.
+func FuzzGNP(f *testing.F) {
+	f.Add(uint8(16), uint16(500), uint64(1))
+	f.Add(uint8(1), uint16(0), uint64(7))
+	f.Add(uint8(64), uint16(1000), uint64(3))
+	f.Fuzz(func(t *testing.T, n uint8, pRaw uint16, seed uint64) {
+		nn := int(n % 129)
+		p := float64(pRaw%1001) / 1000
+		g := GNP(nn, p, seed)
+		if g.N() != nn {
+			t.Fatalf("GNP built %d nodes, want %d", g.N(), nn)
+		}
+		checkInvariants(t, g)
+		g2 := GNP(nn, p, seed)
+		if g2.M() != g.M() {
+			t.Fatalf("GNP not deterministic: %d vs %d edges", g.M(), g2.M())
+		}
+		for v := 0; v < nn; v++ {
+			a, b := g.Neighbors(v), g2.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("GNP not deterministic at node %d", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("GNP not deterministic at node %d", v)
+				}
+			}
+		}
+	})
+}

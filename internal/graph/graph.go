@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -64,6 +65,25 @@ func (g *Graph) Edges(fn func(u, v int)) {
 			}
 		}
 	}
+}
+
+// SortedHas reports whether the sorted node-ID slice a contains x.
+// Together with SortedRemove it is the shared toolkit for the sorted
+// neighbor-set slices the model simulators keep per node (ascending
+// iteration order makes their floating-point accumulations
+// bit-deterministic, unlike map iteration).
+func SortedHas(a []int32, x int) bool {
+	_, ok := slices.BinarySearch(a, int32(x))
+	return ok
+}
+
+// SortedRemove deletes x from the sorted node-ID slice a if present,
+// preserving order.
+func SortedRemove(a []int32, x int) []int32 {
+	if i, ok := slices.BinarySearch(a, int32(x)); ok {
+		return append(a[:i], a[i+1:]...)
+	}
+	return a
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate

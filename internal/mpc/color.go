@@ -37,14 +37,18 @@ type Result struct {
 	FinishedLocally bool // residual instance solved on one machine (Thm 1.4 path)
 }
 
+// mpcNode keeps one node's protocol state. Neighbor sets are sorted
+// int32 slices, not maps: every iteration over them is in ascending
+// order, so the floating-point accumulations of the derandomization are
+// evaluated in one fixed order and the whole run is bit-deterministic.
 type mpcNode struct {
 	alive    bool
 	colored  bool
 	color    uint32
 	list     []uint32
 	cands    []uint32
-	aliveNbr map[int]bool
-	conflict map[int]bool
+	aliveNbr []int32 // still-uncolored neighbors, sorted
+	conflict []int32 // conflict neighbors of the current iteration, sorted
 	k1       uint64
 	phi      int
 }
@@ -92,6 +96,7 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 
 	delta := g.MaxDegree()
 	logC := bits.Len32(inst.C - 1)
@@ -157,11 +162,11 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 
 	nodes := make([]*mpcNode, n)
 	for v := 0; v < n; v++ {
-		nd := &mpcNode{alive: true, list: append([]uint32(nil), inst.Lists[v]...), aliveNbr: map[int]bool{}}
-		for _, w := range g.Neighbors(v) {
-			nd.aliveNbr[int(w)] = true
+		nodes[v] = &mpcNode{
+			alive:    true,
+			list:     append([]uint32(nil), inst.Lists[v]...),
+			aliveNbr: append([]int32(nil), g.Neighbors(v)...),
 		}
-		nodes[v] = nd
 	}
 
 	res := &Result{Machines: rt.M, S: rt.S}
@@ -173,7 +178,8 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 			if !nd.alive {
 				continue
 			}
-			for u := range nd.conflict {
+			for _, u32 := range nd.conflict {
+				u := int(u32)
 				if opts.Sublinear {
 					io[(v*31+u)%rt.M] += 6
 				} else {
@@ -234,16 +240,14 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 
 		// Trim candidates (|L| ≤ uncolored degree + 1, Equation (9)).
 		for _, nd := range nodes {
-			nd.conflict = map[int]bool{}
 			if !nd.alive {
 				nd.cands = nil
+				nd.conflict = nd.conflict[:0]
 				continue
 			}
 			keep := min(len(nd.aliveNbr)+1, len(nd.list))
 			nd.cands = append(nd.cands[:0], nd.list[:keep]...)
-			for w := range nd.aliveNbr {
-				nd.conflict[w] = true
-			}
+			nd.conflict = append(nd.conflict[:0], nd.aliveNbr...)
 		}
 
 		for l := 1; l <= logC; l++ {
@@ -282,7 +286,8 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 						if !nd.alive {
 							continue
 						}
-						for w := range nd.conflict {
+						for _, w32 := range nd.conflict {
+							w := int(w32)
 							if w < v {
 								continue
 							}
@@ -333,11 +338,13 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 				if !nd.alive {
 					continue
 				}
-				for w := range nd.conflict {
-					if bitsChosen[w] != bitsChosen[v] {
-						delete(nd.conflict, w)
+				kept := nd.conflict[:0]
+				for _, w := range nd.conflict {
+					if bitsChosen[w] == bitsChosen[v] {
+						kept = append(kept, w)
 					}
 				}
+				nd.conflict = kept
 			}
 		}
 
@@ -358,10 +365,7 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 			case nd.phi == 0:
 				nd.colored, nd.color = true, nd.cands[0]
 			case nd.phi == 1:
-				partner := -1
-				for w := range nd.conflict {
-					partner = w
-				}
+				partner := int(nd.conflict[0])
 				if nodes[partner].phi > 1 || v > partner {
 					nd.colored, nd.color = true, nd.cands[0]
 				}
@@ -373,14 +377,13 @@ func ListColorMPC(inst *graph.Instance, opts Options) (*Result, error) {
 		for v, nd := range nodes {
 			if nd.colored && nd.alive {
 				nd.alive = false
-				for w := range nd.aliveNbr {
+				for _, w := range nd.aliveNbr {
 					other := nodes[w]
-					delete(other.aliveNbr, v)
+					other.aliveNbr = graph.SortedRemove(other.aliveNbr, v)
 					if !other.colored {
 						other.list = removeColor(other.list, nd.color)
 					}
 				}
-				_ = v
 			}
 		}
 	}
@@ -419,6 +422,7 @@ func DeltaPlusOneMPC(g *graph.Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rtProbe.Close()
 	var recs []Rec
 	g.Edges(func(u, v int) {
 		recs = append(recs, Rec{uint64(u), uint64(v), 0}, Rec{uint64(v), uint64(u), 0})

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"testing"
 
+	"smallbandwidth/internal/engine"
 	"smallbandwidth/internal/graph"
 	"smallbandwidth/internal/prng"
 )
@@ -13,6 +14,7 @@ func TestRuntimeEnforcement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	if err := rt.CheckMemory([]int{50, 100, 3, 0}); err != nil {
 		t.Errorf("in-budget memory rejected: %v", err)
 	}
@@ -55,6 +57,7 @@ func randomRecs(n int, seed uint64) []Rec {
 
 func TestSortDistributed(t *testing.T) {
 	rt, _ := NewRuntime(8, 1024)
+	defer rt.Close()
 	recs := randomRecs(500, 3)
 	d, err := NewDist(rt, recs)
 	if err != nil {
@@ -85,6 +88,7 @@ func TestSortDistributed(t *testing.T) {
 
 func TestPrefixSums(t *testing.T) {
 	rt, _ := NewRuntime(5, 512)
+	defer rt.Close()
 	recs := make([]Rec, 100)
 	for i := range recs {
 		recs[i] = Rec{uint64(i), 0, 1} // value 1 each → prefix = index+1
@@ -109,6 +113,7 @@ func TestPrefixSums(t *testing.T) {
 
 func TestGroupRanksAndSizes(t *testing.T) {
 	rt, _ := NewRuntime(4, 512)
+	defer rt.Close()
 	var recs []Rec
 	groupSize := map[uint64]int{3: 5, 7: 1, 9: 8}
 	for k, sz := range groupSize {
@@ -156,6 +161,7 @@ func TestGroupRanksAndSizes(t *testing.T) {
 
 func TestSetDifference(t *testing.T) {
 	rt, _ := NewRuntime(4, 512)
+	defer rt.Close()
 	a := []Rec{{1, 10, 0}, {1, 11, 0}, {2, 10, 0}, {2, 12, 0}}
 	b := []Rec{{1, 10, 0}, {1, 10, 0}, {2, 12, 0}, {3, 11, 0}}
 	res, err := SetDifference(rt, a, b)
@@ -292,5 +298,133 @@ func TestMPCTooSmallMemoryFails(t *testing.T) {
 	// S too small to even host one node's edges+list in the linear layout.
 	if _, err := ListColorMPC(inst, Options{S: 16}); err == nil {
 		t.Error("impossible memory budget accepted")
+	}
+}
+
+// TestMPCStatsDeterministicAcrossShards is the MPC port of the
+// engine-rework regression: Rounds, HighWaterMemory, and HighWaterIO —
+// every figure the runtime charges — must be bit-identical at workers=1
+// and workers=N, in both memory regimes. Run under -race in CI.
+func TestMPCStatsDeterministicAcrossShards(t *testing.T) {
+	g := graph.MustRandomRegular(32, 4, 21)
+	inst := graph.DeltaPlusOneInstance(g)
+	for _, sub := range []bool{false, true} {
+		name := "linear"
+		if sub {
+			name = "sublinear"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) *Result {
+				engine.SetForceShards(shards)
+				defer engine.SetForceShards(0)
+				res, err := ListColorMPC(inst, Options{Sublinear: sub})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res
+			}
+			serial := run(1)
+			for _, shards := range []int{3, 8} {
+				res := run(shards)
+				if res.Rounds != serial.Rounds || res.HighWaterMemory != serial.HighWaterMemory ||
+					res.HighWaterIO != serial.HighWaterIO || res.Iterations != serial.Iterations {
+					t.Errorf("shards=%d resources (%d,%d,%d,%d) != serial (%d,%d,%d,%d)",
+						shards, res.Rounds, res.HighWaterMemory, res.HighWaterIO, res.Iterations,
+						serial.Rounds, serial.HighWaterMemory, serial.HighWaterIO, serial.Iterations)
+				}
+				for v := range serial.Colors {
+					if res.Colors[v] != serial.Colors[v] {
+						t.Fatalf("shards=%d node %d color diverged", shards, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestToolsDeterministicAcrossShards drives the record-moving tools
+// (Sort, GroupRanks, GroupSizes, PrefixSums) at 1 vs many workers and
+// asserts identical record placement and identical charged resources —
+// the IO vectors folded into the shard workers must merge to exactly the
+// sequential accounting.
+func TestToolsDeterministicAcrossShards(t *testing.T) {
+	recs := randomRecs(3000, 12)
+	run := func(shards int) ([][]Rec, int, int, int) {
+		engine.SetForceShards(shards)
+		defer engine.SetForceShards(0)
+		rt, err := NewRuntime(9, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		d, err := NewDist(rt, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sort(rt); err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsSorted() {
+			t.Fatalf("shards=%d: not sorted", shards)
+		}
+		if err := d.GroupRanks(rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.GroupSizes(rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.PrefixSums(rt, func(a, b uint64) uint64 { return a + b }, 0); err != nil {
+			t.Fatal(err)
+		}
+		parts := make([][]Rec, len(d.Parts))
+		for i, p := range d.Parts {
+			parts[i] = append([]Rec(nil), p...)
+		}
+		return parts, rt.Rounds, rt.HighWaterMemory, rt.HighWaterIO
+	}
+	serialParts, sr, sm, sio := run(1)
+	for _, shards := range []int{2, 4, 8} {
+		parts, r, m, io := run(shards)
+		if r != sr || m != sm || io != sio {
+			t.Errorf("shards=%d resources (%d,%d,%d) != serial (%d,%d,%d)", shards, r, m, io, sr, sm, sio)
+		}
+		for i := range serialParts {
+			if len(parts[i]) != len(serialParts[i]) {
+				t.Fatalf("shards=%d machine %d holds %d records, want %d", shards, i, len(parts[i]), len(serialParts[i]))
+			}
+			for j := range serialParts[i] {
+				if parts[i][j] != serialParts[i][j] {
+					t.Fatalf("shards=%d machine %d record %d = %v, want %v", shards, i, j, parts[i][j], serialParts[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupSizesSpanningManyMachines pins the boundary-carry size
+// computation on a group stretching across most machines.
+func TestGroupSizesSpanningManyMachines(t *testing.T) {
+	rt, _ := NewRuntime(6, 4096)
+	defer rt.Close()
+	var recs []Rec
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Rec{7, uint64(i), 0})
+	}
+	recs = append(recs, Rec{1, 0, 0}, Rec{9, 0, 0}, Rec{9, 1, 0})
+	d, err := NewDist(rt, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sort(rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.GroupSizes(rt); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{1: 1, 7: 100, 9: 2}
+	for _, r := range d.All() {
+		if r[2] != want[r[0]] {
+			t.Fatalf("group %d size %d, want %d", r[0], r[2], want[r[0]])
+		}
 	}
 }

@@ -14,9 +14,22 @@
 // each machine, so a configuration that would overflow a machine fails
 // loudly (see DESIGN.md for this cost-model discussion); the Section 5
 // tools move real records between real machine buffers.
+//
+// The record-moving tools run on the shared sharded round engine
+// (internal/engine): the runtime owns an engine pool over the
+// machine-to-machine topology, the tools' local phases (sorting,
+// scanning, bucket assembly) run machine-sharded across its workers, and
+// the per-round S-word IO accounting is folded into the shard workers —
+// each worker accumulates the IO of its machine range privately and the
+// vectors merge by elementwise sum, so Rounds/HighWaterMemory/
+// HighWaterIO are bit-identical regardless of the worker count.
 package mpc
 
-import "fmt"
+import (
+	"fmt"
+
+	"smallbandwidth/internal/engine"
+)
 
 // Runtime tracks rounds and enforces per-machine memory and IO.
 type Runtime struct {
@@ -26,14 +39,35 @@ type Runtime struct {
 	Rounds          int
 	HighWaterMemory int
 	HighWaterIO     int
+
+	pool *engine.Pool
 }
 
-// NewRuntime builds a runtime with M machines of S words each.
+// NewRuntime builds a runtime with M machines of S words each. Call
+// Close when done: the engine pool's shard workers are persistent
+// goroutines.
 func NewRuntime(m, s int) (*Runtime, error) {
 	if m < 1 || s < 4 {
 		return nil, fmt.Errorf("mpc: invalid runtime (M=%d, S=%d)", m, s)
 	}
 	return &Runtime{S: s, M: m}, nil
+}
+
+// Pool returns the engine pool over the runtime's machines, creating it
+// on first use.
+func (rt *Runtime) Pool() *engine.Pool {
+	if rt.pool == nil {
+		rt.pool = engine.NewPool(rt.M, 1)
+	}
+	return rt.pool
+}
+
+// Close releases the engine pool. The Runtime must not be used afterwards.
+func (rt *Runtime) Close() {
+	if rt.pool != nil {
+		rt.pool.Close()
+		rt.pool = nil
+	}
 }
 
 // CheckMemory verifies that every machine's resident words fit in S.
