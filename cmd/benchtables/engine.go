@@ -136,6 +136,61 @@ func cliqueBench(quick bool) []EngineWorkload {
 	return out
 }
 
+// decompBench measures the Corollary 1.2 pipeline: for each
+// high-diameter topology it runs the seed-equivalent sequential path
+// (decomp-seq/*: one engine spin-up per cluster per component, as the
+// seed scheduled it) next to the batched path (decomp-batched/*: all
+// clusters of a color class in one disjoint-union engine run with
+// identical-component memoization), recording ChargedRounds as rounds
+// and the summed class traffic as messages/words — both pipelines
+// charge the same model cost, so the wall-clock column is the
+// comparison. decomp-build/* is the frontier-driven decomposition
+// builder alone (rounds = construction ChargedRound, messages = cluster
+// count, words = β).
+func decompBench(quick bool) []EngineWorkload {
+	confs := []struct {
+		kind string
+		n    int
+	}{{"cycle", 4096}, {"grid", 4096}, {"cycle", 16384}}
+	buildN := 100000
+	if quick {
+		confs = []struct {
+			kind string
+			n    int
+		}{{"cycle", 1024}, {"grid", 1024}, {"cycle", 4096}}
+		buildN = 20000
+	}
+	fail := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decomp %s run failed: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	var out []EngineWorkload
+	for _, c := range confs {
+		g := enginebench.DecompGraph(c.kind, c.n)
+		for _, batched := range []bool{false, true} {
+			mode := "seq"
+			if batched {
+				mode = "batched"
+			}
+			name := fmt.Sprintf("decomp-%s/%s%d", mode, c.kind, g.N())
+			out = append(out, measure(name, g.N(), g.M(), func() (int, int64, int64) {
+				res, err := enginebench.DecompColor(g, batched)
+				fail(name, err)
+				return res.ChargedRounds, res.Messages, res.Words
+			}))
+		}
+	}
+	g := enginebench.DecompGraph("cycle", buildN)
+	out = append(out, measure(fmt.Sprintf("decomp-build/cycle%d", buildN), g.N(), g.M(), func() (int, int64, int64) {
+		d, err := enginebench.DecompBuild(g)
+		fail("build", err)
+		return d.ChargedRound, int64(len(d.Clusters)), int64(d.Beta)
+	}))
+	return out
+}
+
 // mpcBench measures the MPC simulator: the sort workloads isolate the
 // Lemma 5.1 record-moving tools, the color runs are Theorem 1.4 end to
 // end.

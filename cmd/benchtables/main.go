@@ -7,11 +7,14 @@
 // With -engine it instead benchmarks the CONGEST simulator itself on
 // large graphs and records the results in BENCH_congest.json (see
 // engine.go), keyed by -label; -clique and -mpc do the same for the
-// other two model simulators:
+// other two model simulators, and -decomp records the Corollary 1.2
+// pipeline (seed-equivalent sequential vs batched class runs) in
+// BENCH_decomp.json:
 //
 //	benchtables -engine -label my-change -o BENCH_congest.json
 //	benchtables -clique -label my-change
 //	benchtables -mpc -label my-change
+//	benchtables -decomp -label my-change
 package main
 
 import (
@@ -35,8 +38,9 @@ func main() {
 	engine := flag.Bool("engine", false, "benchmark the CONGEST engine and record BENCH_congest.json")
 	cliqueMode := flag.Bool("clique", false, "benchmark the CLIQUE simulator and record BENCH_clique.json")
 	mpcMode := flag.Bool("mpc", false, "benchmark the MPC simulator and record BENCH_mpc.json")
-	label := flag.String("label", "current", "label for the -engine/-clique/-mpc record")
-	out := flag.String("o", "", "output path for the -engine/-clique/-mpc record (default per mode)")
+	decompMode := flag.Bool("decomp", false, "benchmark the Corollary 1.2 pipeline (sequential vs batched) and record BENCH_decomp.json")
+	label := flag.String("label", "current", "label for the -engine/-clique/-mpc/-decomp record")
+	out := flag.String("o", "", "output path for the -engine/-clique/-mpc/-decomp record (default per mode)")
 	flag.Parse()
 	record := func(defPath, schema, source string, workloads func(bool) []EngineWorkload) {
 		path := *out
@@ -58,6 +62,9 @@ func main() {
 		return
 	case *mpcMode:
 		record("BENCH_mpc.json", "smallbandwidth/bench-mpc/v1", "cmd/benchtables -mpc", mpcBench)
+		return
+	case *decompMode:
+		record("BENCH_decomp.json", "smallbandwidth/bench-decomp/v1", "cmd/benchtables -decomp", decompBench)
 		return
 	}
 	want := map[string]bool{}

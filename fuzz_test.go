@@ -40,3 +40,54 @@ func FuzzColorCONGEST(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecomp feeds small arbitrary graphs through the full Corollary 1.2
+// pipeline: the network decomposition must build and satisfy the
+// Definition 3.1 contract (Validate), and ColorDecomposed must either
+// color the always-solvable (Δ+1)-instance properly or fail with a clean
+// error — never panic, hang, or mis-color. The frontier-driven builder,
+// the batched per-class engine runs, and the charged-round accounting
+// are all on the path.
+func FuzzDecomp(f *testing.F) {
+	f.Add(uint8(6), []byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0})
+	f.Add(uint8(8), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(9), []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8})
+	f.Add(uint8(12), []byte{0, 1, 1, 2, 2, 3, 4, 5, 5, 6, 7, 8, 8, 9, 9, 7})
+	f.Fuzz(func(t *testing.T, n uint8, edges []byte) {
+		nn := int(n % 17)
+		b := NewGraphBuilder(nn)
+		for i := 0; i+1 < len(edges) && i < 64; i += 2 {
+			u, v := int(edges[i])%max(nn, 1), int(edges[i+1])%max(nn, 1)
+			if u != v && nn > 0 && !b.HasEdge(u, v) {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		d, err := BuildDecomposition(g)
+		if err != nil {
+			// The construction's guarantees hold for every graph: an error
+			// here is a builder bug, not a bad input.
+			t.Fatalf("decomposition failed on fuzzed graph (n=%d, m=%d): %v", g.N(), g.M(), err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("invalid decomposition on fuzzed graph (n=%d, m=%d): %v", g.N(), g.M(), err)
+		}
+		inst := DeltaPlusOne(g)
+		res, err := ColorDecomposed(inst)
+		if err != nil {
+			t.Skipf("clean error: %v", err)
+		}
+		if err := inst.VerifyColoring(res.Colors); err != nil {
+			t.Fatalf("improper decomposed coloring on fuzzed graph (n=%d, m=%d): %v", g.N(), g.M(), err)
+		}
+		kappa := max(res.Decomp.Congestion, 1)
+		want := res.Decomp.ChargedRound + max(res.Decomp.Colors-1, 0)
+		for _, cr := range res.ClassRounds {
+			want += cr * kappa
+		}
+		if res.ChargedRounds != want {
+			t.Fatalf("charged-round identity broken: %d != %d", res.ChargedRounds, want)
+		}
+	})
+}

@@ -59,11 +59,21 @@ type Config struct {
 	MaxRounds int
 }
 
+// DomainStats is one connected component's share of a run's Stats.
+type DomainStats = engine.DomainStats
+
 // Run executes program on every node of g until all node programs return.
 // It returns the measured statistics, or an error if any node violated
 // the model, panicked, or the round cap was hit.
 func Run(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
-	return engine.Run(g, engine.Config{
+	st, _, err := RunWithDomains(g, cfg, program)
+	return st, err
+}
+
+// RunWithDomains is Run, additionally reporting each connected
+// component's own Stats (ordered by smallest member).
+func RunWithDomains(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, []DomainStats, error) {
+	return engine.RunWithDomains(g, engine.Config{
 		Model:     "congest",
 		MaxWords:  cfg.MaxWords,
 		MaxRounds: cfg.MaxRounds,

@@ -10,7 +10,7 @@ import (
 const (
 	tagAdopt    uint64 = 1 // [tag, depth, parentID+1] — BFS wave + parent notification
 	tagReport   uint64 = 2 // [tag, height, size] — convergecast of subtree stats
-	tagTreeDone uint64 = 3 // [tag, height, syncRound] — downcast of tree completion
+	tagTreeDone uint64 = 3 // [tag, height<<32|size, syncRound] — downcast of tree completion
 	tagUp       uint64 = 4 // [tag, op, values...] — aggregation chunk toward root
 	tagDown     uint64 = 5 // [tag, op, values...] — broadcast chunk toward leaves
 
@@ -29,6 +29,12 @@ type Tree struct {
 	Depth    int   // distance from the root
 	Height   int   // height of the whole tree (max depth), known everywhere
 	Size     int   // number of nodes in the tree (= n for spanning trees)
+	// SubtreeHeight is the height of this node's own subtree (0 at
+	// leaves, Height at the root). It makes the aggregation schedule
+	// locally computable: in a lockstep ConvergeSum all child chunks have
+	// arrived by start+SubtreeHeight, so the wait can be a single engine
+	// sleep instead of one barrier per round.
+	SubtreeHeight int
 }
 
 // BuildBFSTree constructs a BFS spanning tree rooted at root using the
@@ -36,11 +42,18 @@ type Tree struct {
 // choice), ties broken toward the smallest sender ID; subtree reports are
 // converged to the root, which then broadcasts completion so that every
 // node knows the tree height before returning. Takes O(D) rounds.
-// The graph must be connected.
 //
-// All nodes return in the *same* round (the completion broadcast carries
-// a synchronization round that every node spins to), so protocols may
-// follow the build with globally scheduled fixed-length segments.
+// The wave only ever reaches root's connected component, so disconnected
+// graphs are handled by giving every node the root of its *own* component
+// (conventionally the smallest member ID): each component builds its own
+// spanning tree in the same engine run, and Size/Height are per-component
+// quantities carried by that component's completion broadcast.
+//
+// All nodes of one component return in the *same* round (the completion
+// broadcast carries a synchronization round that every node spins to), so
+// protocols may follow the build with scheduled fixed-length segments;
+// distinct components may return in different rounds, which is fine
+// because no message ever crosses a component boundary.
 func BuildBFSTree(ctx *Ctx, root int) *Tree {
 	t := &Tree{Root: root, Parent: -1, Depth: 0}
 	adopted := ctx.ID() == root
@@ -56,14 +69,28 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 			ctx.Send(int(w), Message{tagAdopt, 0, 0}) // parentID+1 = 0 (none)
 		}
 		if ctx.Degree() == 0 {
-			t.Height, t.Size = 0, 1
+			t.Height, t.Size, t.SubtreeHeight = 0, 1, 0
 			return t
 		}
 	}
 
+	// The build is event-driven: everything a node does reacts to a
+	// received message, so the waits (for the adoption wave, the child
+	// reports, the completion downcast) run as engine sleeps
+	// (NextDelivery) instead of one barrier per round. The one
+	// round-driven action — the report deferred by one round because the
+	// adopt wave just used the parent edge — forces a single plain Next.
+	deferredReport := false
 	for {
+		var ins []Incoming
+		if deferredReport {
+			deferredReport = false
+			ins = ctx.Next()
+		} else {
+			ins = ctx.NextDelivery()
+		}
 		adoptedThisRound := false
-		for _, in := range ctx.Next() {
+		for _, in := range ins {
 			switch in.Payload[0] {
 			case tagAdopt:
 				depth := int(in.Payload[1])
@@ -84,8 +111,8 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 				size += int(in.Payload[2])
 				reported++
 			case tagTreeDone:
-				t.Height = int(in.Payload[1])
-				t.Size = ctx.N()
+				t.Height = int(in.Payload[1] >> 32)
+				t.Size = int(in.Payload[1] & 0xffffffff)
 				for _, ch := range t.Children {
 					ctx.Send(ch, Message{tagTreeDone, in.Payload[1], in.Payload[2]})
 				}
@@ -105,14 +132,21 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 		}
 		// Defer the report by one round if the adopt wave just went out on
 		// the same edge (one message per edge per round).
+		if childrenKnown && !sentReport && reported == len(t.Children) && adoptedThisRound {
+			deferredReport = true
+		}
 		if childrenKnown && !sentReport && reported == len(t.Children) && !adoptedThisRound {
 			sentReport = true
+			t.SubtreeHeight = height
 			if ctx.ID() == root {
 				t.Height = height
 				t.Size = size
 				sync := ctx.Round() + height + 3
+				// Height and size are both < 2³² (one O(log n)-bit field
+				// each), packed into one word to keep the completion message
+				// within the report-message width.
 				for _, ch := range t.Children {
-					ctx.Send(ch, Message{tagTreeDone, uint64(height), uint64(sync)})
+					ctx.Send(ch, Message{tagTreeDone, uint64(height)<<32 | uint64(size), uint64(sync)})
 				}
 				spinUntil(ctx, sync)
 				return t
@@ -127,7 +161,10 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 // node: an up-phase aggregates along the tree, then a down-phase
 // broadcasts the result. Chunks are pipelined through the per-edge FIFOs,
 // so one invocation costs O(Height + len(vec)/chunk) rounds. op tags the
-// invocation for cross-phase assertion only.
+// invocation for cross-phase assertion only. The loop is message-driven,
+// so nodes may enter at staggered rounds (e.g. straight out of a
+// previous ConvergeSum); see ConvergeSumLockstep for the skip-scheduled
+// variant used on the derandomization hot path.
 func ConvergeSum(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
 	l := len(vec)
 	if l == 0 {
@@ -225,6 +262,88 @@ func ConvergeSum(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
 	}
 }
 
+// ConvergeSumLockstep is the skip-scheduled ConvergeSum for the
+// derandomization hot path: it requires that every tree node enters in
+// the *same* round (as after BuildBFSTree or a SpinUntil
+// resynchronization) and that the vector fits one message
+// (len(vec) ≤ MaxWords−2). Under that contract every message's round is
+// known in advance — child chunks have all arrived by
+// start+SubtreeHeight, the down-chunk arrives exactly at
+// start+Height+Depth — so the waits run as single engine sleeps
+// (SkipUntil) instead of one barrier wake-up per round, while the
+// message timing, Stats, and results stay round-for-round identical to
+// ConvergeSum. A violated contract surfaces as a protocol panic, not a
+// wrong sum.
+func ConvergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
+	if len(vec) == 0 {
+		panic("congest: ConvergeSumLockstep of empty vector")
+	}
+	if len(vec) > ctx.MaxWords()-2 {
+		panic("congest: ConvergeSumLockstep vector exceeds one message")
+	}
+	start := ctx.Round()
+	l := len(vec)
+	acc := make([]float64, l)
+	copy(acc, vec)
+
+	takeUp := func(in Incoming) {
+		if in.Payload[0] != tagUp || in.Payload[1] != op {
+			panic(fmt.Sprintf("congest: node %d got (tag %d, op %d) during up-phase of op %d",
+				ctx.ID(), in.Payload[0], in.Payload[1], op))
+		}
+		for i, w := range in.Payload[2:] {
+			acc[i] += math.Float64frombits(w)
+		}
+	}
+	pack := func(data []float64) Message {
+		msg := make(Message, 0, 2+l)
+		msg = append(msg, tagUp, op)
+		for _, f := range data {
+			msg = append(msg, math.Float64bits(f))
+		}
+		return msg
+	}
+
+	// Up phase: child c's chunk arrives at start+h_c+1; all have arrived
+	// by start+SubtreeHeight, when this node forwards its partial sum.
+	got := 0
+	for _, in := range ctx.SkipUntil(start + t.SubtreeHeight) {
+		takeUp(in)
+		got++
+	}
+	if got != len(t.Children) {
+		panic(fmt.Sprintf("congest: node %d got %d of %d child chunks by its schedule",
+			ctx.ID(), got, len(t.Children)))
+	}
+	if t.Parent == -1 {
+		for _, ch := range t.Children {
+			msg := pack(acc)
+			msg[0] = tagDown
+			ctx.SendQueued(ch, msg)
+		}
+		return acc
+	}
+	ctx.SendQueued(t.Parent, pack(acc))
+
+	// Down phase: the root finishes at start+Height and its broadcast
+	// reaches depth d exactly at start+Height+d.
+	result := make([]float64, l)
+	down := ctx.SkipUntil(start + t.Height + t.Depth)
+	if len(down) != 1 || down[0].Payload[0] != tagDown || down[0].Payload[1] != op {
+		panic(fmt.Sprintf("congest: node %d expected its down-chunk of op %d at round %d, got %d message(s)",
+			ctx.ID(), op, ctx.Round(), len(down)))
+	}
+	for i, w := range down[0].Payload[2:] {
+		result[i] = math.Float64frombits(w)
+	}
+	for _, ch := range t.Children {
+		fwd := make(Message, len(down[0].Payload))
+		copy(fwd, down[0].Payload)
+		ctx.SendQueued(ch, fwd)
+	}
+	return result
+}
+
 // Broadcast distributes the root's words to every node over the tree and
 // returns them; non-root nodes pass nil. All nodes must agree on
 // expectLen. Costs O(Height + expectLen/chunk) rounds.
@@ -284,14 +403,14 @@ func min(a, b int) int {
 }
 
 // spinUntil advances rounds (delivering nothing) until the given absolute
-// round, re-establishing global lockstep after a message-driven phase.
-// Receiving anything while spinning indicates a protocol bug.
+// round, re-establishing lockstep after a message-driven phase. The spin
+// is a single engine sleep (SkipUntil): the node leaves the barrier
+// population and the skipped rounds advance — and are counted — without
+// waking it. Receiving anything while spinning indicates a protocol bug.
 func spinUntil(ctx *Ctx, round int) {
-	for ctx.Round() < round {
-		if in := ctx.Next(); len(in) != 0 {
-			panic(fmt.Sprintf("congest: node %d received %d messages while resynchronizing",
-				ctx.ID(), len(in)))
-		}
+	if in := ctx.SkipUntil(round); len(in) != 0 {
+		panic(fmt.Sprintf("congest: node %d received %d messages while resynchronizing",
+			ctx.ID(), len(in)))
 	}
 }
 

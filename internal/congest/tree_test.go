@@ -143,6 +143,53 @@ func TestConvergeSumAllNodes(t *testing.T) {
 	}
 }
 
+// TestConvergeSumLockstepMatchesGeneric: the skip-scheduled aggregation
+// must return the same sums at every node and consume identical Stats as
+// the message-driven loop on the same tree.
+func TestConvergeSumLockstepMatchesGeneric(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(12), graph.Grid2D(4, 5), graph.Star(9), graph.BinaryTree(15), graph.Path(1),
+	} {
+		n := g.N()
+		run := func(lockstep bool) ([][]float64, Stats) {
+			t.Helper()
+			results := make([][]float64, n)
+			var mu sync.Mutex
+			st, err := Run(g, Config{}, func(ctx *Ctx) {
+				tr := BuildBFSTree(ctx, 0)
+				vec := []float64{float64(ctx.ID()), 1.0}
+				var sum []float64
+				if lockstep {
+					sum = ConvergeSumLockstep(ctx, tr, 1, vec)
+				} else {
+					sum = ConvergeSum(ctx, tr, 1, vec)
+				}
+				// Resynchronize so both variants end in the same round.
+				SpinUntil(ctx, 4*tr.Height+40)
+				mu.Lock()
+				results[ctx.ID()] = sum
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return results, *st
+		}
+		generic, gStats := run(false)
+		lockstep, lStats := run(true)
+		if gStats != lStats {
+			t.Errorf("n=%d: lockstep stats %+v differ from generic %+v", n, lStats, gStats)
+		}
+		for v := range generic {
+			for i := range generic[v] {
+				if generic[v][i] != lockstep[v][i] {
+					t.Fatalf("n=%d node %d component %d: %v vs %v", n, v, i, lockstep[v][i], generic[v][i])
+				}
+			}
+		}
+	}
+}
+
 func TestConvergeSumLongVectorChunked(t *testing.T) {
 	// Vector longer than one message forces chunking + pipelining.
 	g := graph.Path(6)

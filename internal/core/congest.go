@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"smallbandwidth/internal/congest"
@@ -78,15 +80,15 @@ func (m *metrics) addPotPhase(iter, phase int, phi float64) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) addColored(iter int) {
+func (m *metrics) addColored(iter, weight int) {
 	m.mu.Lock()
-	m.colored[iter]++
+	m.colored[iter] += weight
 	m.mu.Unlock()
 }
 
-func (m *metrics) addAlive(iter int) {
+func (m *metrics) addAlive(iter, weight int) {
 	m.mu.Lock()
-	m.alive[iter]++
+	m.alive[iter] += weight
 	m.mu.Unlock()
 }
 
@@ -96,8 +98,37 @@ func (m *metrics) addAlive(iter int) {
 // (Lemma 2.1), each derandomizing ⌈logC⌉ prefix-extension phases with
 // seed bits fixed one by one via conditional expectations aggregated over
 // a BFS tree, followed by an MIS step on the ≤3-degree conflict graph.
-// The graph must be connected (the BFS tree spans it); use
-// ListColorComponents for disconnected inputs.
+//
+// The graph may be disconnected: every connected component runs the
+// protocol independently inside the *same* engine run, rooted at its
+// smallest member ID (per the remark after Theorem 1.1, the diameter term
+// becomes the maximum component diameter). The per-component BFS trees
+// keep every converge() aggregation component-local, a component's nodes
+// exit as soon as that component is fully colored, and no message ever
+// crosses a component boundary — so the reported Stats.Rounds is the
+// maximum over components while Messages/Words are sums, exactly the
+// parallel-composition accounting of the model. Per-iteration telemetry
+// (AliveAt, Colored, potentials) sums components at the same iteration
+// index.
+//
+// Each component also derives its own parameter set from its local
+// (n, Δ) — the per-cluster reading of Corollary 1.2 — and seeds its
+// Linial coloring from component-local node ranks, so a component runs
+// round-for-round exactly as a standalone run of its own 0..k−1-labeled
+// instance: batching many components into one engine run never changes
+// any component's rounds, messages, or coloring choices. Result.Params
+// reports the instance-global set used by single-component runs.
+//
+// Because a component's entire run is a deterministic function of its
+// rank-relabeled adjacency and lists, components that are identical
+// under relabeling produce bit-identical runs — so the simulator runs
+// ONE representative per identity class and replicates its coloring,
+// scaling the telemetry and per-component traffic by the class size.
+// The reported Colors/Stats/telemetry are exactly what simulating every
+// component would produce (and the final VerifyColoring checks the full
+// instance), at a fraction of the wall-clock on workloads with many
+// equal components, such as the per-class cluster batches of the
+// Corollary 1.2 pipeline.
 func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 	p, err := ComputeParams(inst, opts)
 	if err != nil {
@@ -106,8 +137,161 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 	if inst.G.N() == 0 {
 		return &Result{Params: p, Done: true}, nil
 	}
-	if !inst.G.IsConnected() {
-		return nil, fmt.Errorf("core: graph is disconnected; use ListColorComponents")
+	comps := inst.G.ConnectedComponents()
+	groups := groupIdenticalComponents(inst, comps)
+	if len(groups) == len(comps) {
+		// Every component is distinct: run the instance as given.
+		res, _, err := runColoringDomains(inst, opts, p, nil, comps)
+		return res, err
+	}
+
+	// Deduplicated run: one representative component per identity class,
+	// telemetry weighted by class size.
+	var repMembers []int
+	starts := make([]int, len(groups)) // group -> first reduced node ID
+	for gi, g := range groups {
+		starts[gi] = len(repMembers)
+		repMembers = append(repMembers, comps[g[0]]...)
+	}
+	sub, orig := inst.G.InducedSubgraph(repMembers)
+	subLists := make([][]uint32, sub.N())
+	for i, v := range orig {
+		subLists[i] = inst.Lists[v]
+	}
+	weights := make([]int, sub.N())
+	multByRoot := make(map[int]int64, len(groups))
+	for gi, g := range groups {
+		end := len(repMembers)
+		if gi+1 < len(groups) {
+			end = starts[gi+1]
+		}
+		for i := starts[gi]; i < end; i++ {
+			weights[i] = len(g)
+		}
+		multByRoot[starts[gi]] = int64(len(g))
+	}
+	subInst := &graph.Instance{G: sub, C: inst.C, Lists: subLists}
+	rep, domStats, err := runColoringDomains(subInst, opts, p, weights, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold the representative run back onto the full instance: colors by
+	// rank, traffic scaled by class size, rounds already the max.
+	res := &Result{
+		Colors:         make([]uint32, inst.G.N()),
+		Stats:          congest.Stats{Rounds: rep.Stats.Rounds, MaxMessageWords: rep.Stats.MaxMessageWords},
+		Params:         p,
+		Done:           rep.Done,
+		Iterations:     rep.Iterations,
+		Colored:        rep.Colored,
+		AliveAt:        rep.AliveAt,
+		PotentialStart: rep.PotentialStart,
+		PotentialPhase: rep.PotentialPhase,
+	}
+	for _, ds := range domStats {
+		mult := multByRoot[ds.Root]
+		res.Stats.Messages += ds.Stats.Messages * mult
+		res.Stats.Words += ds.Stats.Words * mult
+	}
+	for gi, g := range groups {
+		for _, ci := range g {
+			comp := comps[ci]
+			for i := range comp {
+				res.Colors[comp[i]] = rep.Colors[starts[gi]+i]
+			}
+		}
+	}
+	if res.Done {
+		if err := inst.VerifyColoring(res.Colors); err != nil {
+			return nil, fmt.Errorf("core: replicated coloring failed verification: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// groupIdenticalComponents partitions the component indices into
+// identity classes: two components are identical when their
+// rank-relabeled adjacency and per-rank color lists are byte-equal
+// (list-coloring runs are deterministic functions of exactly that data,
+// plus the shared C and options). Grouping is by exact signature bytes
+// — no hashing, no collisions. Each class lists its component indices
+// ascending; classes are ordered by first appearance.
+func groupIdenticalComponents(inst *graph.Instance, comps [][]int) [][]int {
+	if len(comps) == 1 {
+		return [][]int{{0}}
+	}
+	index := make(map[string]int, len(comps))
+	var groups [][]int
+	var sig []byte
+	for ci, comp := range comps {
+		sig = sig[:0]
+		sig = binary.AppendUvarint(sig, uint64(len(comp)))
+		for _, v := range comp {
+			list := inst.Lists[v]
+			sig = binary.AppendUvarint(sig, uint64(len(list)))
+			for _, c := range list {
+				sig = binary.AppendUvarint(sig, uint64(c))
+			}
+			nbrs := inst.G.Neighbors(v)
+			sig = binary.AppendUvarint(sig, uint64(len(nbrs)))
+			for _, w := range nbrs {
+				// comp is sorted, so the index is the neighbor's rank.
+				sig = binary.AppendUvarint(sig, uint64(sort.SearchInts(comp, int(w))))
+			}
+		}
+		if gi, ok := index[string(sig)]; ok {
+			groups[gi] = append(groups[gi], ci)
+		} else {
+			index[string(sig)] = len(groups)
+			groups = append(groups, []int{ci})
+		}
+	}
+	return groups
+}
+
+// runColoringDomains executes the protocol on inst (connected or not)
+// and assembles the Result together with the per-component engine
+// stats. weights[v], when non-nil, scales node v's telemetry
+// contributions (the multiplicity of the identity class its component
+// represents); a non-nil weights slice also forces per-component
+// parameter sets even for a single-component instance, since the
+// instance then stands for components of a larger original. comps, when
+// non-nil, is inst.G.ConnectedComponents() precomputed by the caller.
+func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights []int, comps [][]int) (*Result, []congest.DomainStats, error) {
+	// Per-component BFS roots (the smallest member), component-local
+	// ranks, and component parameter sets. Every node can derive all
+	// three locally in O(D) rounds by a leader-election flood plus local
+	// aggregates, so handing them to the programs charges no rounds. The
+	// rank seeds the Linial input coloring (ranks are distinct within a
+	// component, which is all Linial needs).
+	if comps == nil {
+		comps = inst.G.ConnectedComponents()
+	}
+	roots := make([]int32, inst.G.N())
+	ranks := make([]uint64, inst.G.N())
+	params := make([]*Params, inst.G.N())
+	perComp := len(comps) > 1 || weights != nil
+	for _, comp := range comps {
+		cp := p
+		if perComp {
+			delta := 0
+			for _, v := range comp {
+				if d := inst.G.Degree(v); d > delta {
+					delta = d
+				}
+			}
+			var err error
+			cp, err = computeParamsFor(len(comp), delta, inst.C, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, v := range comp {
+			roots[v] = int32(comp[0])
+			ranks[v] = uint64(i)
+			params[v] = cp
+		}
 	}
 
 	m := newMetrics(opts.TrackPotentials)
@@ -116,8 +300,13 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 	var mu sync.Mutex
 
 	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds}
-	stats, err := congest.Run(inst.G, cfg, func(ctx *congest.Ctx) {
-		ns := &nodeState{ctx: ctx, p: p, opts: opts, m: m}
+	stats, domStats, err := congest.RunWithDomains(inst.G, cfg, func(ctx *congest.Ctx) {
+		w := 1
+		if weights != nil {
+			w = weights[ctx.ID()]
+		}
+		ns := &nodeState{ctx: ctx, p: params[ctx.ID()], opts: opts, m: m,
+			root: int(roots[ctx.ID()]), rank: ranks[ctx.ID()], weight: w}
 		ns.init(inst)
 		ns.run()
 		mu.Lock()
@@ -126,7 +315,7 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 		mu.Unlock()
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res := &Result{Colors: colors, Stats: *stats, Params: p, Done: true}
@@ -153,20 +342,23 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 			res.PotentialPhase = append(res.PotentialPhase, phases)
 		}
 	}
-	if res.Done {
+	if res.Done && weights == nil {
 		if err := inst.VerifyColoring(colors); err != nil {
-			return nil, fmt.Errorf("core: produced coloring failed verification: %w", err)
+			return nil, nil, fmt.Errorf("core: produced coloring failed verification: %w", err)
 		}
 	}
-	return res, nil
+	return res, domStats, nil
 }
 
 // nodeState is the per-node protocol state.
 type nodeState struct {
-	ctx  *congest.Ctx
-	p    *Params
-	opts Options
-	m    *metrics
+	ctx    *congest.Ctx
+	p      *Params
+	opts   Options
+	m      *metrics
+	root   int    // BFS root of this node's connected component
+	rank   uint64 // rank within the component (sorted order); seeds Linial
+	weight int    // telemetry multiplier: how many identical components this node's component stands for
 
 	tree *congest.Tree
 	op   uint64
@@ -213,7 +405,7 @@ func (ns *nodeState) init(inst *graph.Instance) {
 }
 
 func (ns *nodeState) run() {
-	ns.tree = congest.BuildBFSTree(ns.ctx, 0)
+	ns.tree = congest.BuildBFSTree(ns.ctx, ns.root)
 	ns.runLinial()
 	maxIter := ns.opts.MaxIterations
 	for iter := 0; ; iter++ {
@@ -229,16 +421,16 @@ func (ns *nodeState) run() {
 			return
 		}
 		if ns.alive {
-			ns.m.addAlive(iter)
+			ns.m.addAlive(iter, ns.weight)
 		}
 		ns.partialIteration(iter)
 	}
 }
 
-// runLinial computes ψ: the O(Δ²)-ish input coloring from node IDs in
-// len(LinialSched) = O(log* n) rounds.
+// runLinial computes ψ: the O(Δ²)-ish input coloring from the
+// component-local node ranks in len(LinialSched) = O(log* n) rounds.
 func (ns *nodeState) runLinial() {
-	ns.psi = uint64(ns.ctx.ID())
+	ns.psi = ns.rank
 	for _, st := range ns.p.LinialSched {
 		for _, w := range ns.ctx.Neighbors() {
 			ns.ctx.Send(int(w), congest.Message{tagLinial, ns.psi})
@@ -271,7 +463,7 @@ func (ns *nodeState) partialIteration(iter int) {
 	}
 	if ns.alive {
 		ns.cands = append(ns.cands[:0], ns.list...)
-		ns.m.addPotStart(iter, float64(aliveDeg)/float64(len(ns.cands)))
+		ns.m.addPotStart(iter, float64(ns.weight)*float64(aliveDeg)/float64(len(ns.cands)))
 	} else {
 		ns.cands = ns.cands[:0]
 	}
@@ -311,7 +503,15 @@ func (ns *nodeState) partialIteration(iter int) {
 	}
 
 	// Linial on the conflict graph H (max degree 3) from ψ, then iterate
-	// the color classes to build the MIS.
+	// the color classes to build the MIS. Nodes outside V<4 neither send
+	// nor receive anywhere in this fixed-length segment (every H-edge has
+	// both endpoints in V<4), so they sleep through it in one skip; the
+	// segment length is the same for everyone, so lockstep is preserved.
+	if !inV4 {
+		congest.SpinUntil(ns.ctx, ns.ctx.Round()+len(ns.p.MISSched)+int(ns.p.MISK))
+		ns.finishIteration(iter, false)
+		return
+	}
 	hColor := ns.psi
 	for _, st := range ns.p.MISSched {
 		if inV4 {
@@ -355,12 +555,18 @@ func (ns *nodeState) partialIteration(iter int) {
 		}
 	}
 
-	// MIS nodes keep their candidate color permanently and announce it.
+	ns.finishIteration(iter, inMIS)
+}
+
+// finishIteration is the iteration's final announce round: MIS nodes
+// keep their candidate color permanently and announce it; everyone
+// prunes announced colors and neighbor liveness.
+func (ns *nodeState) finishIteration(iter int, inMIS bool) {
 	if inMIS {
 		ns.color = ns.cands[0]
 		ns.colored = true
 		ns.alive = false
-		ns.m.addColored(iter)
+		ns.m.addColored(iter, ns.weight)
 		for _, w := range ns.ctx.Neighbors() {
 			ns.ctx.Send(int(w), congest.Message{tagFinal, uint64(ns.color)})
 		}
@@ -481,7 +687,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 		}
 	}
 	if ns.alive {
-		ns.m.addPotPhase(iter, l, float64(confDeg)/float64(len(ns.cands)))
+		ns.m.addPotPhase(iter, l, float64(ns.weight)*float64(confDeg)/float64(len(ns.cands)))
 	}
 }
 
@@ -491,7 +697,11 @@ func (ns *nodeState) runPhase(iter, l int) {
 func (ns *nodeState) converge(x0, x1 float64) [2]float64 {
 	start := ns.ctx.Round()
 	ns.op++
-	res := congest.ConvergeSum(ns.ctx, ns.tree, ns.op, []float64{x0, x1})
+	// Lockstep contract: every converge starts right after the previous
+	// one's SpinUntil (or the synchronized tree build), so the
+	// skip-scheduled aggregation applies — nodes sleep through the wave
+	// instead of ticking every round.
+	res := congest.ConvergeSumLockstep(ns.ctx, ns.tree, ns.op, []float64{x0, x1})
 	congest.SpinUntil(ns.ctx, start+2*ns.tree.Height+6)
 	return [2]float64{res[0], res[1]}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"smallbandwidth/internal/congest"
 	"smallbandwidth/internal/graph"
 )
 
@@ -251,24 +252,162 @@ func TestHighAccuracyVariant(t *testing.T) {
 	}
 }
 
-func TestDisconnectedRejectedAndComponentsWork(t *testing.T) {
+func TestDisconnectedRunsInOneEngineRun(t *testing.T) {
 	g, err := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	inst := mustInstance(t, g)
-	if _, err := ListColorCONGEST(inst, Options{}); err == nil {
-		t.Error("disconnected graph accepted by ListColorCONGEST")
-	}
-	res, err := ListColorComponents(inst, Options{})
+	res, err := ListColorCONGEST(inst, Options{})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("component-aware ListColorCONGEST rejected a disconnected graph: %v", err)
 	}
 	if !res.Done {
-		t.Fatal("components run incomplete")
+		t.Fatal("disconnected run incomplete")
 	}
 	if err := inst.VerifyColoring(res.Colors); err != nil {
 		t.Fatal(err)
+	}
+	// The compatibility delegate must agree bit for bit.
+	res2, err := ListColorComponents(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats != res.Stats {
+		t.Errorf("ListColorComponents stats %+v differ from ListColorCONGEST %+v", res2.Stats, res.Stats)
+	}
+	for v := range res.Colors {
+		if res.Colors[v] != res2.Colors[v] {
+			t.Fatalf("delegate colored node %d differently", v)
+		}
+	}
+}
+
+// TestDisconnectedStatsAreParallelComposition pins the accounting of one
+// engine run over several components: rounds must behave like the max
+// over components (adding a tiny far-away component to a big one must
+// not add its rounds on top), while messages strictly sum.
+func TestDisconnectedStatsAreParallelComposition(t *testing.T) {
+	big := graph.Cycle(32)
+	bigRes, err := ListColorCONGEST(mustInstance(t, big), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// big cycle ⊔ one edge ⊔ one isolated node.
+	b := graph.NewBuilder(35)
+	big.Edges(func(u, v int) { b.MustAddEdge(u, v) })
+	b.MustAddEdge(32, 33)
+	union := b.Build()
+	res, err := ListColorCONGEST(mustInstance(t, union), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustInstance(t, union).VerifyColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > 2*bigRes.Stats.Rounds {
+		t.Errorf("union rounds %d look summed, not maxed (big component alone: %d)",
+			res.Stats.Rounds, bigRes.Stats.Rounds)
+	}
+	if res.Stats.Messages <= bigRes.Stats.Messages {
+		t.Errorf("union messages %d did not grow over the big component's %d",
+			res.Stats.Messages, bigRes.Stats.Messages)
+	}
+}
+
+// TestDedupMatchesPerComponentRuns is the exactness lockdown of the
+// identical-component memoization: on a graph with duplicated
+// components, ListColorCONGEST's colors and stats must be bit-identical
+// to composing one standalone run per component (max rounds, summed
+// traffic, colors mapped by rank) — i.e., simulating a representative
+// once must be observationally indistinguishable from simulating every
+// copy.
+func TestDedupMatchesPerComponentRuns(t *testing.T) {
+	b := graph.NewBuilder(26)
+	// Three identical 5-node paths.
+	for s := 0; s < 15; s += 5 {
+		for i := 0; i < 4; i++ {
+			b.MustAddEdge(s+i, s+i+1)
+		}
+	}
+	// Two identical triangles.
+	for s := 15; s < 21; s += 3 {
+		b.MustAddEdge(s, s+1)
+		b.MustAddEdge(s+1, s+2)
+		b.MustAddEdge(s, s+2)
+	}
+	// One unique star.
+	for i := 22; i < 26; i++ {
+		b.MustAddEdge(21, i)
+	}
+	g := b.Build()
+	inst := mustInstance(t, g)
+
+	full, err := ListColorCONGEST(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(full.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	var want congest.Stats
+	for _, comp := range g.ConnectedComponents() {
+		sub, orig := g.InducedSubgraph(comp)
+		lists := make([][]uint32, sub.N())
+		for i, v := range orig {
+			lists[i] = append([]uint32(nil), inst.Lists[v]...)
+		}
+		res, err := ListColorCONGEST(&graph.Instance{G: sub, C: inst.C, Lists: lists}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range orig {
+			if full.Colors[v] != res.Colors[i] {
+				t.Fatalf("node %d: full run colored %d, standalone component run %d",
+					v, full.Colors[v], res.Colors[i])
+			}
+		}
+		if res.Stats.Rounds > want.Rounds {
+			want.Rounds = res.Stats.Rounds
+		}
+		want.Messages += res.Stats.Messages
+		want.Words += res.Stats.Words
+		if res.Stats.MaxMessageWords > want.MaxMessageWords {
+			want.MaxMessageWords = res.Stats.MaxMessageWords
+		}
+	}
+	if full.Stats != want {
+		t.Fatalf("deduplicated stats %+v != per-component composition %+v", full.Stats, want)
+	}
+}
+
+// TestListsNotAliasedIntoRun is the aliasing regression of the instance
+// boundary: a run (connected or not) must leave the caller's inst.Lists
+// byte-identical — node programs shift their working lists in place, so
+// sharing a backing array would corrupt the caller's instance.
+func TestListsNotAliasedIntoRun(t *testing.T) {
+	g, err := graph.FromEdges(7, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := mustInstance(t, g)
+	snapshot := make([][]uint32, len(inst.Lists))
+	for v, l := range inst.Lists {
+		snapshot[v] = append([]uint32(nil), l...)
+	}
+	if _, err := ListColorCONGEST(inst, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range inst.Lists {
+		if len(l) != len(snapshot[v]) {
+			t.Fatalf("node %d list length changed: %d -> %d", v, len(snapshot[v]), len(l))
+		}
+		for i := range l {
+			if l[i] != snapshot[v][i] {
+				t.Fatalf("node %d list mutated at index %d: %d -> %d", v, i, snapshot[v][i], l[i])
+			}
+		}
 	}
 }
 

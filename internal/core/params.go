@@ -69,10 +69,17 @@ func ComputeParams(inst *graph.Instance, opts Options) (*Params, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	n := inst.G.N()
-	delta := inst.G.MaxDegree()
-	logC := bits.Len32(inst.C - 1) // ⌈log₂ C⌉ for C ≥ 1
-	p := &Params{N: n, Delta: delta, C: inst.C, LogC: logC}
+	return computeParamsFor(inst.G.N(), inst.G.MaxDegree(), inst.C, opts)
+}
+
+// computeParamsFor derives the parameter set from the quantities every
+// node of a (sub)network knows: its node count, maximum degree, and the
+// color-space size. ListColorCONGEST derives one set per connected
+// component, so a component behaves exactly as a standalone run of its
+// own instance would (the per-cluster reading of Corollary 1.2).
+func computeParamsFor(n, delta int, c uint32, opts Options) (*Params, error) {
+	logC := bits.Len32(c - 1) // ⌈log₂ C⌉ for C ≥ 1
+	p := &Params{N: n, Delta: delta, C: c, LogC: logC}
 
 	// Input coloring: Linial from the trivial ID coloring.
 	k0 := uint64(n)
@@ -111,8 +118,8 @@ func ComputeParams(inst *graph.Instance, opts Options) (*Params, error) {
 		return nil, fmt.Errorf("core: hash field degree %d exceeds 63 (instance too large)", p.M)
 	}
 	// Coin thresholds are ⌈k1·2^B/|L|⌉ with k1 ≤ C: they must fit uint64.
-	if p.B+bits.Len32(inst.C) > 62 {
-		return nil, fmt.Errorf("core: B=%d with C=%d would overflow coin thresholds", p.B, inst.C)
+	if p.B+bits.Len32(c) > 62 {
+		return nil, fmt.Errorf("core: B=%d with C=%d would overflow coin thresholds", p.B, c)
 	}
 	p.D = 2 * p.M
 	fam, err := gf2.NewFamily(p.M, 2)

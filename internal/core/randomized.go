@@ -127,51 +127,14 @@ func (st *PrefixState) CandidateColors() ([]uint32, error) {
 	return out, nil
 }
 
-// ListColorComponents runs ListColorCONGEST independently on every
-// connected component and stitches the per-component colorings together.
-// Per the remark after Theorem 1.1, the diameter term becomes the maximum
-// component diameter; the returned stats take the maximum of rounds over
-// components (they run in parallel) and sum message counts.
+// ListColorComponents solves the instance on a possibly-disconnected
+// graph. Historically this stitched one sequential ListColorCONGEST run
+// per connected component; ListColorCONGEST is component-aware now (every
+// component runs in parallel inside one sharded engine run, with Rounds
+// the max over components and Messages/Words the sums), so this is a
+// plain delegate kept for callers of the old entry point. Unlike the old
+// stitcher it never shares the caller's list backing arrays with a
+// sub-instance — the node programs copy their lists at init.
 func ListColorComponents(inst *graph.Instance, opts Options) (*Result, error) {
-	if err := inst.Validate(); err != nil {
-		return nil, err
-	}
-	comps := inst.G.ConnectedComponents()
-	if len(comps) == 1 {
-		return ListColorCONGEST(inst, opts)
-	}
-	total := &Result{Colors: make([]uint32, inst.G.N()), Done: true}
-	for _, comp := range comps {
-		sub, orig := inst.G.InducedSubgraph(comp)
-		lists := make([][]uint32, sub.N())
-		for i, v := range orig {
-			lists[i] = inst.Lists[v]
-		}
-		subInst := &graph.Instance{G: sub, C: inst.C, Lists: lists}
-		res, err := ListColorCONGEST(subInst, opts)
-		if err != nil {
-			return nil, err
-		}
-		for i, v := range orig {
-			total.Colors[v] = res.Colors[i]
-		}
-		total.Done = total.Done && res.Done
-		if res.Stats.Rounds > total.Stats.Rounds {
-			total.Stats.Rounds = res.Stats.Rounds
-		}
-		total.Stats.Messages += res.Stats.Messages
-		total.Stats.Words += res.Stats.Words
-		if res.Stats.MaxMessageWords > total.Stats.MaxMessageWords {
-			total.Stats.MaxMessageWords = res.Stats.MaxMessageWords
-		}
-		if res.Iterations > total.Iterations {
-			total.Iterations = res.Iterations
-		}
-	}
-	if total.Done {
-		if err := inst.VerifyColoring(total.Colors); err != nil {
-			return nil, fmt.Errorf("core: stitched coloring failed verification: %w", err)
-		}
-	}
-	return total, nil
+	return ListColorCONGEST(inst, opts)
 }

@@ -12,12 +12,25 @@
 //     their backing arrays, so steady-state rounds allocate nothing per
 //     edge;
 //   - a sharded dirty-edge counter that skips the delivery scan entirely
-//     on quiet rounds.
+//     on quiet rounds, plus per-receiver dirty flags that keep a busy
+//     round's scan proportional to actual traffic instead of the edge
+//     set;
+//   - sleep primitives that take spinning nodes out of the barrier
+//     population: SkipUntil (sleep to a known round, e.g. a scheduled
+//     resynchronization) and NextDelivery (sleep until the next message
+//     arrives), with skipped rounds advancing — and counted — on the
+//     other nodes' schedule or fast-forwarded when everyone sleeps;
+//   - one independent lockstep domain per connected component of the
+//     topology: components exchange no messages, so each runs its own
+//     barrier and pool (bounded to GOMAXPROCS domains in flight), and a
+//     run over a disconnected topology is the parallel composition of
+//     its components — max rounds, summed traffic.
 //
 // Receiver-sharding keeps everything deterministic: each inbox is filled
 // by exactly one worker, in ascending sender order — the exact delivery
 // order of a sequential scan — so Stats and protocol behavior are
-// bit-for-bit independent of the worker count.
+// bit-for-bit independent of the worker count, and the sleep primitives
+// wake a node in exactly the round a Next loop would have acted.
 //
 // The engine is parameterized over an endpoint Topology. The CONGEST
 // simulator (internal/congest) is a thin adapter passing its
@@ -31,6 +44,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -185,6 +199,18 @@ type Ctx struct {
 	// the node still holds the slice returned by the previous Next.
 	inboxes [2][]Incoming
 	cur     int
+
+	// rdirty is set by senders when an incoming edge queue of this node
+	// becomes non-empty, and cleared by the delivery worker owning this
+	// node once all its incoming queues drain. Delivery skips receivers
+	// whose flag is clear, so a round's scan costs O(n + traffic) instead
+	// of O(n + m).
+	rdirty atomic.Bool
+
+	// waiting marks a node sleeping in NextDelivery; wakeCh is closed by
+	// the delivery side in the first round that hands it a message.
+	waiting bool
+	wakeCh  chan struct{}
 }
 
 // ID returns this node's identifier.
@@ -254,11 +280,15 @@ func (c *Ctx) SendQueued(to int, msg Message) {
 	c.outbox[i].push(msg)
 }
 
-// noteQueued maintains the dirty-edge accounting: called before a push
-// that makes the edge queue at index i non-empty.
+// noteQueued maintains the dirty accounting: called before a push that
+// makes the edge queue at index i non-empty, it bumps the sender-shard
+// queue counter and flags the receiver as having pending incoming
+// traffic. Both writes are ordered before the barrier that delivers
+// them, since the sender reaches its own barrier arrival after sending.
 func (c *Ctx) noteQueued(i int) {
 	if c.outbox[i].size() == 0 {
 		c.r.dirty[c.shard].v.Add(1)
+		c.r.ctxs[c.nbr[i]].rdirty.Store(true)
 	}
 }
 
@@ -291,6 +321,81 @@ func (c *Ctx) Next() []Incoming {
 	if !c.r.barrierWait(c) {
 		panic(errAborted)
 	}
+	return c.flipInbox()
+}
+
+// SkipUntil ends the node's current round and removes the node from the
+// barrier population until the given absolute round number: the rounds in
+// between advance on the other nodes' schedule (or fast-forward when
+// every node is skipping), without this node being woken per round. It
+// returns every message delivered to the node while it slept, in round
+// order with ascending senders within a round — exactly what repeated
+// Next calls would have concatenated — so a long synchronization spin or
+// a wait for a deterministically scheduled message costs one sleep
+// instead of target−round barrier participations. Stats are unchanged:
+// skipped rounds are counted exactly as if the node had ticked them.
+// If target is not beyond the current round, SkipUntil is a no-op
+// returning nil (the node stays in its current round).
+func (c *Ctx) SkipUntil(target int) []Incoming {
+	r := c.r
+	if r.sh.aborted.Load() {
+		panic(errAborted)
+	}
+	if target <= r.round {
+		return nil
+	}
+	r.skipMu.Lock()
+	g := r.skipAt[target]
+	if g == nil {
+		g = &skipGroup{ch: make(chan struct{})}
+		r.skipAt[target] = g
+	}
+	g.n++
+	r.skipMu.Unlock()
+	r.leaves.Add(1)
+	if r.pending.Add(-1) == 0 {
+		r.completeRound()
+	}
+	<-g.ch
+	if r.sh.aborted.Load() {
+		panic(errAborted)
+	}
+	return c.flipInbox()
+}
+
+// NextDelivery ends the node's current round and removes the node from
+// the barrier population until the first round that delivers it a
+// message; it returns that round's messages. Rounds in between advance
+// on the other nodes' schedule without waking this node, so a wait of
+// unknown length for the next protocol event (a flooding wave, a tree
+// report) costs one sleep instead of one barrier participation per
+// round. Stats are unchanged — the node observes the message in exactly
+// the round it would have seen it from a Next loop. If every node of the
+// domain is waiting and nothing is queued, no message can ever arrive
+// and the run fails with a deadlock error (the analogue of MaxRounds for
+// event-driven waits).
+func (c *Ctx) NextDelivery() []Incoming {
+	r := c.r
+	if r.sh.aborted.Load() {
+		panic(errAborted)
+	}
+	c.waiting = true
+	c.wakeCh = make(chan struct{})
+	r.waiters.Add(1)
+	r.leaves.Add(1)
+	if r.pending.Add(-1) == 0 {
+		r.completeRound()
+	}
+	<-c.wakeCh
+	if r.sh.aborted.Load() {
+		panic(errAborted)
+	}
+	return c.flipInbox()
+}
+
+// flipInbox swaps the double buffer and returns the delivered messages,
+// shared by Next, SkipUntil, and NextDelivery.
+func (c *Ctx) flipInbox() []Incoming {
 	in := c.inboxes[c.cur]
 	c.cur ^= 1
 	c.inboxes[c.cur] = c.inboxes[c.cur][:0]
@@ -312,12 +417,41 @@ type roundTask struct {
 	done chan struct{}   // closed when every shard finished delivering
 }
 
-// runner drives one simulation. The Topology is consumed during setup
-// in Run; afterwards everything the engine needs lives in the Ctxs.
+// shared is the cross-domain state of one Run: the abort flag and the
+// first error are common to every lockstep domain, so a violation
+// anywhere unwinds the whole run.
+type shared struct {
+	aborted atomic.Bool
+	errMu   sync.Mutex
+	err     error
+}
+
+func (sh *shared) fail(err error) {
+	sh.errMu.Lock()
+	if sh.err == nil {
+		sh.err = err
+	}
+	sh.errMu.Unlock()
+	sh.aborted.Store(true)
+}
+
+// runner drives one lockstep domain of a simulation: one connected
+// component of the topology. Components exchange no messages, so each
+// runs its own barrier, round counter, and delivery pool — a run over a
+// disconnected topology is the parallel composition of its components
+// (Stats fold as max rounds / summed traffic), and the per-node view
+// (round numbering, delivery order) is identical to a single global
+// barrier because a node's round count is just its own barrier count.
+// Splitting the barrier keeps each component's goroutine set scheduled
+// in bursts (cache-resident) and lets components progress independently
+// on multicore hosts. The Topology is consumed during setup in Run;
+// afterwards everything the engine needs lives in the Ctxs.
 type runner struct {
-	n    int
-	cfg  Config
-	ctxs []*Ctx
+	n     int     // total endpoint count of the run (Ctx.N())
+	nodes []int32 // this domain's endpoints, ascending
+	sh    *shared
+	cfg   Config
+	ctxs  []*Ctx // global ctx table, shared across domains
 
 	// Barrier. pending counts the arrivals outstanding this round; the
 	// goroutine whose arrival (or departure) takes it to zero is the
@@ -331,10 +465,6 @@ type runner struct {
 	releases []chan struct{} // one per shard; replaced by the leader each round
 	active   int64
 	round    int
-
-	aborted atomic.Bool
-	errMu   sync.Mutex
-	err     error
 
 	stats Stats
 
@@ -353,26 +483,41 @@ type runner struct {
 	// skipped, so protocol-free synchronization rounds (SpinUntil, pure
 	// barriers) cost O(shards) instead of O(m).
 	dirty []padCounter
+
+	// skipAt groups the nodes sleeping in SkipUntil by their wake round.
+	// The leader readmits a group to the population when it advances into
+	// that round, and fast-forwards rounds when every remaining node is
+	// asleep. skipMu guards the map: registrations happen while nodes run
+	// between barriers, wake-ups inside the single-threaded leader.
+	skipMu sync.Mutex
+	skipAt map[int]*skipGroup
+
+	// NextDelivery accounting: waiters counts sleeping message-waiters;
+	// wokenByShard collects, per delivery worker, the waiters that shard
+	// handed a message this round (disjoint receivers, so no locks). The
+	// waker (last delivery worker, or the leader on inline paths) folds
+	// them back into the population before anyone is released.
+	waiters      atomic.Int64
+	wokenByShard [][]*Ctx
+}
+
+// skipGroup is the set of nodes sleeping until one wake round.
+type skipGroup struct {
+	n  int64
+	ch chan struct{}
 }
 
 // shardMin keeps tiny topologies on the sequential path: below this many
 // nodes per worker the dispatch overhead outweighs the parallelism.
 const shardMin = 256
 
-func (r *runner) fail(err error) {
-	r.errMu.Lock()
-	if r.err == nil {
-		r.err = err
-	}
-	r.errMu.Unlock()
-	r.aborted.Store(true)
-}
+func (r *runner) fail(err error) { r.sh.fail(err) }
 
 // barrierWait blocks until all active nodes arrive; the arrival that
 // completes the barrier becomes the leader and advances the round.
 // Returns false if the run aborted.
 func (r *runner) barrierWait(c *Ctx) bool {
-	if r.aborted.Load() {
+	if r.sh.aborted.Load() {
 		return false
 	}
 	// Read the release channel before decrementing: the leader only
@@ -383,7 +528,7 @@ func (r *runner) barrierWait(c *Ctx) bool {
 	} else {
 		<-rel
 	}
-	return !r.aborted.Load()
+	return !r.sh.aborted.Load()
 }
 
 // leave removes a finished node from the barrier population. A departure
@@ -397,60 +542,213 @@ func (r *runner) leave() {
 }
 
 // completeRound runs once per barrier, by the single goroutine whose
-// arrival or departure took pending to zero: apply departures, advance
-// the round, deliver queued messages across the worker shards, and wake
-// the sleepers shard by shard.
+// arrival, departure, or skip registration took pending to zero: apply
+// departures, readmit skippers whose wake round arrives, advance the
+// round, deliver queued messages across the worker shards, and wake the
+// sleepers shard by shard (skip groups last, after delivery finishes).
+// When every remaining node is asleep in a skip group, rounds
+// fast-forward one by one — still counted, still delivering any queued
+// backlog — with nobody woken until the earliest wake round.
 func (r *runner) completeRound() {
 	r.active -= r.leaves.Swap(0)
-	if r.active <= 0 {
-		return // the last node left; nobody is sleeping
-	}
-	nshards := r.pool.Shards()
-	old := r.releases
-	fresh := make([]chan struct{}, nshards)
-	for i := range fresh {
-		fresh[i] = make(chan struct{})
-	}
-	r.releases = fresh
-	r.pending.Store(r.active)
+	for {
+		// Nodes scheduled to wake in the round being entered rejoin the
+		// population before that round's barrier forms.
+		next := r.round + 1
+		r.skipMu.Lock()
+		wake := r.skipAt[next]
+		delete(r.skipAt, next)
+		skipsLeft := len(r.skipAt)
+		r.skipMu.Unlock()
+		if wake != nil {
+			r.active += wake.n
+		}
 
-	r.round++
-	r.stats.Rounds++
-	if !r.aborted.Load() && r.stats.Rounds > r.cfg.MaxRounds {
-		r.fail(fmt.Errorf("%s: exceeded MaxRounds=%d", r.cfg.Model, r.cfg.MaxRounds))
-	}
-	if r.aborted.Load() {
-		for _, ch := range old {
-			close(ch)
+		if r.active <= 0 {
+			if skipsLeft == 0 && r.waiters.Load() == 0 {
+				return // the last node left; nobody is sleeping
+			}
+			if skipsLeft == 0 && !r.anyQueued() {
+				// Only message-waiters remain and nothing is in flight: no
+				// message can ever materialize.
+				r.fail(fmt.Errorf("%s: every node is waiting for a message and none are queued (protocol deadlock)", r.cfg.Model))
+				r.wakeAllSleepers()
+				return
+			}
+			if skipsLeft > 0 && !r.anyQueued() {
+				// Nothing can be delivered until a skipper wakes, so jump
+				// straight to the round before the earliest wake (counting
+				// the skipped rounds) instead of ticking them one by one.
+				r.skipMu.Lock()
+				minWake := 0
+				for round := range r.skipAt {
+					if minWake == 0 || round < minWake {
+						minWake = round
+					}
+				}
+				r.skipMu.Unlock()
+				if delta := minWake - 1 - r.round; delta > 0 {
+					if !r.advanceRounds(delta) {
+						r.wakeAllSleepers()
+						return
+					}
+				}
+				continue
+			}
+			// Everyone left or sleeps past `next`: advance the round with
+			// nobody to wake and retry at the following one.
+			if !r.advanceRounds(1) {
+				r.wakeAllSleepers()
+				return
+			}
+			if r.anyQueued() {
+				r.deliverRange(0, len(r.nodes), 0)
+				if woken := r.collectWoken(); len(woken) > 0 {
+					// Delivery woke message-waiters: form the new round's
+					// population from them and hand control back.
+					r.active += int64(len(woken))
+					r.pending.Store(r.active)
+					wakeNodes(woken)
+					return
+				}
+			}
+			continue
+		}
+
+		nshards := r.pool.Shards()
+		old := r.releases
+		fresh := make([]chan struct{}, nshards)
+		for i := range fresh {
+			fresh[i] = make(chan struct{})
+		}
+		r.releases = fresh
+		r.pending.Store(r.active)
+
+		if !r.advanceRounds(1) {
+			for _, ch := range old {
+				close(ch)
+			}
+			if wake != nil {
+				close(wake.ch)
+			}
+			r.wakeAllSleepers()
+			return
+		}
+		if !r.anyQueued() {
+			// Nothing anywhere in flight: skip the delivery scan entirely.
+			for _, ch := range old {
+				close(ch)
+			}
+			if wake != nil {
+				close(wake.ch)
+			}
+			return
+		}
+		if nshards == 1 {
+			r.deliverRange(0, len(r.nodes), 0)
+			woken := r.collectWoken()
+			if len(woken) > 0 {
+				r.active += int64(len(woken))
+				r.pending.Add(int64(len(woken)))
+			}
+			// All accounting done: wake waiters, then sleepers. Nothing
+			// shared is mutated after the first close.
+			wakeNodes(woken)
+			close(old[0])
+			if wake != nil {
+				close(wake.ch)
+			}
+			return
+		}
+		r.left.Store(int32(nshards))
+		r.cur = roundTask{old: old, done: make(chan struct{})}
+		t := r.cur
+		for wid := 0; wid < nshards; wid++ {
+			r.pool.Submit(wid, r.shardFns[wid])
+		}
+		// The leader is a node too: it may not run ahead into the next round
+		// until its own inbox is complete. Shard wake-ups proceed in the
+		// background; skippers wake only after every shard delivered, and
+		// the leader mutates nothing past this point (the next round's
+		// leader may already be running).
+		<-t.done
+		if wake != nil {
+			close(wake.ch)
 		}
 		return
 	}
+}
+
+// advanceRounds moves the domain forward by delta rounds, counting them
+// against Stats and the MaxRounds cap. It returns false when the run is
+// (or becomes) aborted — the caller must wake its sleepers and bail.
+func (r *runner) advanceRounds(delta int) bool {
+	r.round += delta
+	r.stats.Rounds += delta
+	if !r.sh.aborted.Load() && r.stats.Rounds > r.cfg.MaxRounds {
+		r.fail(fmt.Errorf("%s: exceeded MaxRounds=%d", r.cfg.Model, r.cfg.MaxRounds))
+	}
+	return !r.sh.aborted.Load()
+}
+
+// anyQueued reports whether any edge queue holds an undelivered message.
+func (r *runner) anyQueued() bool {
 	queued := int64(0)
 	for i := range r.dirty {
 		queued += r.dirty[i].v.Load()
 	}
-	if queued == 0 {
-		// Nothing anywhere in flight: skip the delivery scan entirely.
-		for _, ch := range old {
-			close(ch)
+	return queued != 0
+}
+
+// collectWoken detaches this round's woken message-waiters from the
+// collection lists — detaching (not truncating) so the next round's
+// delivery can refill the slots without sharing a backing array with
+// this round's wake — clears their waiting flags, and updates the
+// waiters counter. The caller must give them pending slots before
+// releasing them with wakeNodes; once a wakeCh closes, the woken node
+// may immediately become the next round's leader.
+func (r *runner) collectWoken() []*Ctx {
+	var woken []*Ctx
+	for s := range r.wokenByShard {
+		if len(r.wokenByShard[s]) > 0 {
+			woken = append(woken, r.wokenByShard[s]...)
+			r.wokenByShard[s] = nil
 		}
-		return
 	}
-	if nshards == 1 {
-		r.deliverRange(0, r.n, &r.wstats[0])
-		close(old[0])
-		return
+	for _, c := range woken {
+		c.waiting = false
 	}
-	r.left.Store(int32(nshards))
-	r.cur = roundTask{old: old, done: make(chan struct{})}
-	t := r.cur
-	for wid := 0; wid < nshards; wid++ {
-		r.pool.Submit(wid, r.shardFns[wid])
+	if len(woken) > 0 {
+		r.waiters.Add(-int64(len(woken)))
 	}
-	// The leader is a node too: it may not run ahead into the next round
-	// until its own inbox is complete. Shard wake-ups proceed in the
-	// background.
-	<-t.done
+	return woken
+}
+
+// wakeNodes releases nodes collected by collectWoken.
+func wakeNodes(ws []*Ctx) {
+	for _, c := range ws {
+		close(c.wakeCh)
+	}
+}
+
+// wakeAllSleepers releases every skip group and message-waiter (abort
+// and deadlock paths); the woken nodes observe the aborted flag and
+// unwind.
+func (r *runner) wakeAllSleepers() {
+	r.skipMu.Lock()
+	for round, g := range r.skipAt {
+		delete(r.skipAt, round)
+		close(g.ch)
+	}
+	r.skipMu.Unlock()
+	for _, v := range r.nodes {
+		c := r.ctxs[v]
+		if c.waiting {
+			c.waiting = false
+			close(c.wakeCh)
+		}
+	}
+	r.waiters.Store(0)
 }
 
 // runShard is one worker's share of a round: deliver its receiver range,
@@ -460,8 +758,19 @@ func (r *runner) completeRound() {
 func (r *runner) runShard(wid int) {
 	t := r.cur
 	lo, hi := r.pool.Bounds(wid)
-	r.deliverRange(lo, hi, &r.wstats[wid])
+	r.deliverRange(lo, hi, wid)
 	if r.left.Add(-1) == 0 {
+		// Last shard standing: every shard has delivered. Admit the
+		// message-waiters this round woke — population count, pending
+		// slot, wake, and list detach — entirely before t.done: a woken
+		// node may immediately arrive at the next barrier and become its
+		// leader, so no shared state may be mutated after t.done.
+		woken := r.collectWoken()
+		if len(woken) > 0 {
+			r.active += int64(len(woken))
+			r.pending.Add(int64(len(woken)))
+		}
+		wakeNodes(woken)
 		close(t.done)
 	} else {
 		// Wake-up must wait for *all* shards: a woken node may send
@@ -475,13 +784,22 @@ func (r *runner) runShard(wid int) {
 // inboxes of receivers [lo, hi): each receiver walks its incident edges
 // in sorted sender order — the exact delivery order of the sequential
 // engine, so results do not depend on the worker count — and pops the
-// head of the sender's queue slot for that edge. Workers own disjoint
-// receiver ranges, and a sender's outbox slot and sentNow flag for an
-// edge are touched only by the worker owning the receiving endpoint, so
-// delivery needs no locks.
-func (r *runner) deliverRange(lo, hi int, ws *WorkerStats) {
-	for v := lo; v < hi; v++ {
-		c := r.ctxs[v]
+// head of the sender's queue slot for that edge. Receivers whose rdirty
+// flag is clear have no pending incoming traffic and are skipped without
+// touching their adjacency, so a round's cost tracks actual traffic
+// instead of the full edge set. Workers own disjoint receiver ranges,
+// and a sender's outbox slot and sentNow flag for an edge are touched
+// only by the worker owning the receiving endpoint, so delivery needs no
+// locks.
+func (r *runner) deliverRange(lo, hi, wid int) {
+	ws := &r.wstats[wid]
+	for idx := lo; idx < hi; idx++ {
+		c := r.ctxs[r.nodes[idx]]
+		if !c.rdirty.Load() {
+			continue
+		}
+		backlog := false
+		delivered := false
 		buf := c.inboxes[c.cur]
 		for i, w := range c.nbr {
 			sc := r.ctxs[w]
@@ -493,98 +811,217 @@ func (r *runner) deliverRange(lo, hi int, ws *WorkerStats) {
 			msg := q.pop()
 			if q.size() == 0 {
 				r.dirty[sc.shard].v.Add(-1)
+			} else {
+				backlog = true
 			}
 			sc.sentNow[slot] = false
 			buf = append(buf, Incoming{From: int(w), Payload: msg})
+			delivered = true
 			ws.Note(len(msg))
 		}
 		c.inboxes[c.cur] = buf
+		if !backlog {
+			c.rdirty.Store(false)
+		}
+		if delivered && c.waiting {
+			r.wokenByShard[wid] = append(r.wokenByShard[wid], c)
+		}
 	}
+}
+
+// DomainStats is one lockstep domain's (connected component's) share of
+// a run: the component's smallest endpoint ID and the Stats measured for
+// that component alone (its own rounds, its own traffic).
+type DomainStats struct {
+	Root  int
+	Stats Stats
 }
 
 // Run executes program on every endpoint of top until all node programs
 // return. It returns the measured statistics, or an error if any node
 // violated the model, panicked, or the round cap was hit.
 func Run(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
+	st, _, err := RunWithDomains(top, cfg, program)
+	return st, err
+}
+
+// RunWithDomains is Run, additionally reporting the per-domain
+// statistics (one entry per connected component, ordered by smallest
+// member). Callers that simulate each distinct component once and
+// replicate the result — the components of a run are independent and
+// the simulation deterministic — use the per-domain breakdown to scale
+// traffic exactly.
+func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, []DomainStats, error) {
 	cfg = cfg.withDefaults()
 	n := top.N()
 	if n == 0 {
-		return &Stats{}, nil
+		return &Stats{}, nil, nil
 	}
-	r := &runner{
-		n:      n,
-		cfg:    cfg,
-		ctxs:   make([]*Ctx, n),
-		pool:   NewPool(n, shardMin),
-		active: int64(n),
-	}
-	defer r.pool.Close()
-	nshards := r.pool.Shards()
-	r.pending.Store(int64(n))
-	r.releases = make([]chan struct{}, nshards)
-	for i := range r.releases {
-		r.releases[i] = make(chan struct{})
-	}
-	r.wstats = make([]WorkerStats, nshards)
-	r.dirty = make([]padCounter, nshards)
-	r.shardFns = make([]func(int), nshards)
-	for i := 0; i < nshards; i++ {
-		wid := i
-		r.shardFns[i] = func(int) { r.runShard(wid) }
-	}
+	sh := &shared{}
+	ctxs := make([]*Ctx, n)
 
-	for v := 0; v < n; v++ {
-		nbr := top.Neighbors(v)
-		c := &Ctx{
-			r:       r,
-			id:      v,
-			shard:   r.pool.ShardOf(v),
-			nbr:     nbr,
-			srcSlot: make([]int32, len(nbr)),
-			outbox:  make([]fifo, len(nbr)),
-			sentNow: make([]bool, len(nbr)),
-		}
-		c.inboxes[0] = make([]Incoming, 0, len(nbr))
-		c.inboxes[1] = make([]Incoming, 0, len(nbr))
-		r.ctxs[v] = c
+	// One lockstep domain per connected component of the topology: the
+	// components exchange no messages, so each runs its own barrier and
+	// pool and their Stats fold as parallel composition (max rounds,
+	// summed traffic). Per-node behavior is unchanged — a node's round
+	// counter is its own barrier count either way.
+	//
+	// Domains are causally independent, so the engine bounds how many run
+	// at once to GOMAXPROCS: on a single-processor host the components of
+	// a disconnected run execute back to back with their goroutine sets
+	// cache-resident, and on a multiprocessor host they fill the
+	// processors. Node programs may only interact through edges (the
+	// model's contract), so delaying a domain's start is unobservable.
+	// A domain's contexts and pool materialize when it is scheduled and
+	// are released when it completes, keeping the live footprint at the
+	// in-flight domains rather than the whole run.
+	comps := topologyComponents(top)
+	runners := make([]*runner, len(comps))
+	undelivered := make([]int, len(comps))
+	slots := runtime.GOMAXPROCS(0)
+	if slots < 1 {
+		slots = 1
 	}
-	for v := 0; v < n; v++ {
-		c := r.ctxs[v]
-		for i, w := range c.nbr {
-			c.srcSlot[i] = int32(r.ctxs[w].NeighborIndex(v))
-		}
-	}
-
-	var nodes sync.WaitGroup
-	nodes.Add(n)
-	for v := 0; v < n; v++ {
-		ctx := r.ctxs[v]
+	sem := make(chan struct{}, slots)
+	var domains sync.WaitGroup
+	domains.Add(len(comps))
+	for ci := range comps {
+		ci := ci
+		comp := comps[ci]
+		undelivered[ci] = -1
 		go func() {
-			defer nodes.Done()
-			defer r.leave()
-			defer func() {
-				if p := recover(); p != nil && !errors.Is(asErr(p), errAborted) {
-					r.fail(fmt.Errorf("%s: node %d panicked: %v", cfg.Model, ctx.id, p))
+			defer domains.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			r := &runner{
+				n:      n,
+				nodes:  comp,
+				sh:     sh,
+				cfg:    cfg,
+				ctxs:   ctxs,
+				pool:   NewPool(len(comp), shardMin),
+				active: int64(len(comp)),
+				skipAt: make(map[int]*skipGroup),
+			}
+			runners[ci] = r
+			nshards := r.pool.Shards()
+			r.pending.Store(int64(len(comp)))
+			r.releases = make([]chan struct{}, nshards)
+			for i := range r.releases {
+				r.releases[i] = make(chan struct{})
+			}
+			r.wstats = make([]WorkerStats, nshards)
+			r.dirty = make([]padCounter, nshards)
+			r.wokenByShard = make([][]*Ctx, nshards)
+			r.shardFns = make([]func(int), nshards)
+			for i := 0; i < nshards; i++ {
+				wid := i
+				r.shardFns[i] = func(int) { r.runShard(wid) }
+			}
+			for idx, v := range comp {
+				nbr := top.Neighbors(int(v))
+				c := &Ctx{
+					r:       r,
+					id:      int(v),
+					shard:   r.pool.ShardOf(idx),
+					nbr:     nbr,
+					srcSlot: make([]int32, len(nbr)),
+					outbox:  make([]fifo, len(nbr)),
+					sentNow: make([]bool, len(nbr)),
 				}
-			}()
-			program(ctx)
+				c.inboxes[0] = make([]Incoming, 0, len(nbr))
+				c.inboxes[1] = make([]Incoming, 0, len(nbr))
+				ctxs[v] = c
+			}
+			for _, v := range comp {
+				c := ctxs[v]
+				for i, w := range c.nbr {
+					c.srcSlot[i] = int32(ctxs[w].NeighborIndex(int(v)))
+				}
+			}
+
+			var nodes sync.WaitGroup
+			nodes.Add(len(comp))
+			for _, v := range comp {
+				ctx := ctxs[v]
+				go func() {
+					defer nodes.Done()
+					defer ctx.r.leave()
+					defer func() {
+						if p := recover(); p != nil && !errors.Is(asErr(p), errAborted) {
+							sh.fail(fmt.Errorf("%s: node %d panicked: %v", cfg.Model, ctx.id, p))
+						}
+					}()
+					program(ctx)
+				}()
+			}
+			nodes.Wait()
+			r.pool.Close()
+			r.stats.MergeWorkers(r.wstats)
+			// Messages queued by nodes that exited early are still delivered
+			// at later barriers; only messages left after the last node
+			// exits were truly dropped, which indicates a protocol bug.
+			for _, v := range comp {
+				if ctxs[v].Pending() {
+					undelivered[ci] = int(v)
+					break
+				}
+			}
+			for _, v := range comp {
+				ctxs[v] = nil // release the domain's state
+			}
 		}()
 	}
-	nodes.Wait()
-	r.stats.MergeWorkers(r.wstats)
-	// Messages queued by nodes that exited early are still delivered at
-	// later barriers; only messages left after the last node exits were
-	// truly dropped, which indicates a protocol bug.
-	if r.err == nil {
-		for _, ctx := range r.ctxs {
-			if ctx.Pending() {
-				r.err = fmt.Errorf("%s: node %d finished with undelivered queued messages", cfg.Model, ctx.id)
+	domains.Wait()
+	var st Stats
+	perDomain := make([]DomainStats, len(runners))
+	for ci, r := range runners {
+		perDomain[ci] = DomainStats{Root: int(comps[ci][0]), Stats: r.stats}
+		if r.stats.Rounds > st.Rounds {
+			st.Rounds = r.stats.Rounds
+		}
+		st.Messages += r.stats.Messages
+		st.Words += r.stats.Words
+		if r.stats.MaxMessageWords > st.MaxMessageWords {
+			st.MaxMessageWords = r.stats.MaxMessageWords
+		}
+	}
+	if sh.err == nil {
+		for _, v := range undelivered {
+			if v >= 0 {
+				sh.err = fmt.Errorf("%s: node %d finished with undelivered queued messages", cfg.Model, v)
 				break
 			}
 		}
 	}
-	st := r.stats
-	return &st, r.err
+	return &st, perDomain, sh.err
+}
+
+// topologyComponents returns the connected components of the topology,
+// each ascending, ordered by smallest member.
+func topologyComponents(top Topology) [][]int32 {
+	n := top.N()
+	seen := make([]bool, n)
+	var comps [][]int32
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		members := []int32{int32(s)}
+		for qi := 0; qi < len(members); qi++ {
+			for _, w := range top.Neighbors(int(members[qi])) {
+				if !seen[w] {
+					seen[w] = true
+					members = append(members, w)
+				}
+			}
+		}
+		slices.Sort(members)
+		comps = append(comps, members)
+	}
+	return comps
 }
 
 func asErr(p any) error {

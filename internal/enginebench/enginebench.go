@@ -32,6 +32,7 @@ import (
 	"smallbandwidth/internal/core"
 	"smallbandwidth/internal/graph"
 	"smallbandwidth/internal/mpc"
+	"smallbandwidth/internal/netdecomp"
 	"smallbandwidth/internal/prng"
 )
 
@@ -56,10 +57,55 @@ func Graph(kind string, n int) *graph.Graph {
 }
 
 // Color runs one partial-coloring iteration of Theorem 1.1
-// (MaxIterations = 1, Lemma 2.1) on the (Δ+1)-instance of g.
+// (MaxIterations = 1, Lemma 2.1) on the (Δ+1)-instance of g. The
+// component-aware runner handles disconnected benchmark topologies in
+// one engine run.
 func Color(g *graph.Graph) (*core.Result, error) {
 	inst := graph.DeltaPlusOneInstance(g)
-	return core.ListColorComponents(inst, core.Options{MaxIterations: 1})
+	return core.ListColorCONGEST(inst, core.Options{MaxIterations: 1})
+}
+
+// DecompGraph builds a standard high-diameter decomposition topology
+// (deterministic): a cycle of n nodes or a near-square grid with ~n
+// nodes — the workloads where the Corollary 1.2 pipeline matters, since
+// their diameters dwarf the polylog budget.
+func DecompGraph(kind string, n int) *graph.Graph {
+	switch kind {
+	case "cycle":
+		return graph.Cycle(n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return graph.Grid2D(side, side)
+	}
+	panic(fmt.Sprintf("enginebench: unknown decomp graph kind %q", kind))
+}
+
+// DecompColor runs the Corollary 1.2 pipeline end to end on the
+// (Δ+1)-instance of g: batched = all clusters of a decomposition color
+// class in one disjoint-union engine run; otherwise the seed-equivalent
+// sequential reference (one engine spin-up per cluster per component).
+func DecompColor(g *graph.Graph, batched bool) (*netdecomp.DecompResult, error) {
+	inst := graph.DeltaPlusOneInstance(g)
+	if batched {
+		return netdecomp.ListColorDecomposed(inst, core.Options{})
+	}
+	return netdecomp.ListColorDecomposedSeq(inst, core.Options{})
+}
+
+// DecompBuild constructs and validates the network decomposition of g —
+// the frontier-driven builder's scaling workload.
+func DecompBuild(g *graph.Graph) (*netdecomp.Decomposition, error) {
+	d, err := netdecomp.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Barrier ticks every node through BarrierRounds empty rounds: pure

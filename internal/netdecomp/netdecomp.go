@@ -100,150 +100,256 @@ func Build(g *graph.Graph) (*Decomposition, error) {
 	return d, nil
 }
 
-// classState tracks one in-construction cluster.
+// classState tracks one in-construction cluster, slice-backed: membership
+// is implicit in (live, clusterOf) with only a size counter here, and the
+// associated tree is three parallel append-only slices holding the nodes
+// *absorbed* into the cluster (the founder's root entry is implicit).
+// Nothing in the per-iteration hot path touches a map.
 type classState struct {
-	label   uint64
-	members map[int]struct{}
-	parent  map[int]int
-	depth   map[int]int
-	root    int
-	maxDep  int
-	done    bool // finished for the current bit
+	label  uint64
+	size   int  // current member count
+	maxDep int  // max tree depth
+	done   bool // finished for the current bit
+	used   bool // this founder had a cluster in this class
+
+	treeNodes  []int32 // absorbed tree nodes, in absorption order
+	treeParent []int32
+	treeDepth  []int32
+}
+
+// chargeHook, when non-nil, observes every proposal iteration's charged
+// tree depth next to the depth the pre-fix cost model would have charged
+// (max over *all* surviving clusters, idle and finished ones included).
+// Test instrumentation only; production runs leave it nil.
+var chargeHook func(activeMaxDep, globalMaxDep int)
+
+// proposal is one red border node's offer to join a blue cluster.
+type proposal struct {
+	target int32 // founder of the blue cluster proposed to
+	node   int32
+	via    int32
 }
 
 // buildClass runs the bit-by-bit construction over the remaining nodes,
 // appends the surviving clusters with the given color, and unmarks their
 // members from remaining. Returns the number of nodes clustered.
+//
+// The construction is centralized but avoids the former per-iteration
+// Θ(n+m) full scans: only an *active frontier* of red border nodes is
+// scanned for proposals each iteration. The frontier is exact — a red
+// node can gain an eligible blue target only when one of its neighbors
+// changes cluster (labels are fixed within a bit, done flags and deaths
+// only disable), and every proposer is either absorbed or pruned the same
+// iteration — so the frontier for iteration k+1 is precisely the red live
+// neighbors of the nodes iteration k moved. Member depths of current
+// members live in one flat array; the rare re-absorption into a cluster
+// whose tree already holds the node (as a Steiner relay) is resolved
+// through a (founder,node)-keyed map touched only on absorption events.
 func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []bool) int {
 	n := g.N()
 	live := make([]bool, n)
-	clusterOf := make([]int, n) // founder ID, or -1
-	states := map[int]*classState{}
+	clusterOf := make([]int32, n) // founder ID, or -1
+	states := make([]classState, n)
+	memberDepth := make([]int32, n) // depth of v in its current cluster's tree
+	// treeAt records (founder<<32|node) -> depth for absorbed tree nodes;
+	// the founder's own root entry (depth 0) is implicit.
+	treeAt := make(map[uint64]int32)
+	treeKey := func(founder, node int32) uint64 {
+		return uint64(uint32(founder))<<32 | uint64(uint32(node))
+	}
+
+	frontier := make([]int32, 0, n)
+	inFrontier := make([]bool, n)
+	var props []proposal
+	var moved []int32
+
 	for v := 0; v < n; v++ {
 		clusterOf[v] = -1
 		if remaining[v] {
 			live[v] = true
-			clusterOf[v] = v
-			states[v] = &classState{
-				label:   uint64(v),
-				members: map[int]struct{}{v: {}},
-				parent:  map[int]int{v: -1},
-				depth:   map[int]int{v: 0},
-				root:    v,
-			}
+			clusterOf[v] = int32(v)
+			states[v] = classState{label: uint64(v), size: 1, used: true}
 		}
 	}
 
 	for bit := 0; bit < b; bit++ {
-		for _, st := range states {
-			st.done = false
+		bitMask := uint64(1) << uint(bit)
+		for v := 0; v < n; v++ {
+			if states[v].used {
+				states[v].done = false
+			}
 		}
-		for {
-			// Collect proposals: red border node -> (target founder, via).
-			type proposal struct{ node, via int }
-			props := map[int][]proposal{}
-			var targets []int
-			for v := 0; v < n; v++ {
+
+		// Seed the frontier: live red-cluster nodes bordering a live node
+		// of any other cluster (conservative: the scan below re-checks the
+		// target's color and done flag).
+		frontier = frontier[:0]
+		for v := 0; v < n; v++ {
+			if !live[v] || states[clusterOf[v]].label&bitMask == 0 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if live[w] && clusterOf[w] != clusterOf[v] {
+					frontier = append(frontier, int32(v))
+					inFrontier[v] = true
+					break
+				}
+			}
+		}
+
+		for len(frontier) > 0 {
+			// Collect proposals: each frontier node (ascending) offers to
+			// its smallest-labeled live blue unfinished neighbor cluster.
+			props = props[:0]
+			for _, v := range frontier {
+				inFrontier[v] = false
 				if !live[v] {
 					continue
 				}
-				x := states[clusterOf[v]]
-				if x.label>>uint(bit)&1 == 0 {
-					continue // blue
-				}
-				bestTarget, bestVia := -1, -1
-				for _, w := range g.Neighbors(v) {
+				bestTarget, bestVia := int32(-1), int32(-1)
+				for _, w := range g.Neighbors(int(v)) {
 					if !live[w] || clusterOf[w] == clusterOf[v] {
 						continue
 					}
-					y := states[clusterOf[w]]
-					if y.label>>uint(bit)&1 == 1 || y.done {
+					y := &states[clusterOf[w]]
+					if y.label&bitMask != 0 || y.done {
 						continue
 					}
 					if bestTarget == -1 || y.label < states[bestTarget].label {
-						bestTarget, bestVia = clusterOf[w], int(w)
+						bestTarget, bestVia = clusterOf[w], w
 					}
 				}
 				if bestTarget >= 0 {
-					if _, seen := props[bestTarget]; !seen {
-						targets = append(targets, bestTarget)
-					}
-					props[bestTarget] = append(props[bestTarget], proposal{v, bestVia})
+					props = append(props, proposal{bestTarget, v, bestVia})
 				}
 			}
-			if len(targets) == 0 {
+			if len(props) == 0 {
 				break
 			}
-			sort.Ints(targets)
+			// Group by target: proposals arrive in ascending node order, so
+			// a stable sort on the target yields, per target, exactly the
+			// ascending-node order of the old full scan.
+			sort.SliceStable(props, func(i, j int) bool { return props[i].target < props[j].target })
 
 			// Charge the distributed cost of one iteration: border
-			// exchange + tree aggregation + decision broadcast.
+			// exchange + tree aggregation + decision broadcast over the
+			// deepest tree among this iteration's *target* clusters — the
+			// only trees the aggregation and broadcast actually traverse
+			// (idle and finished clusters exchange nothing).
 			maxDep := 0
-			for _, st := range states {
-				if len(st.members) > 0 && st.maxDep > maxDep {
-					maxDep = st.maxDep
+			for i := 0; i < len(props); i++ {
+				if i == 0 || props[i].target != props[i-1].target {
+					if md := states[props[i].target].maxDep; md > maxDep {
+						maxDep = md
+					}
 				}
+			}
+			if chargeHook != nil {
+				global := 0
+				for f := 0; f < n; f++ {
+					if states[f].used && states[f].size > 0 && states[f].maxDep > global {
+						global = states[f].maxDep
+					}
+				}
+				chargeHook(maxDep, global)
 			}
 			d.ChargedRound += 2 + 2*(maxDep+1)
 
-			for _, t := range targets {
-				y := states[t]
-				p := props[t]
-				if len(p)*2*b >= len(y.members) {
+			moved = moved[:0]
+			for lo := 0; lo < len(props); {
+				hi := lo
+				for hi < len(props) && props[hi].target == props[lo].target {
+					hi++
+				}
+				t := props[lo].target
+				y := &states[t]
+				if (hi-lo)*2*b >= y.size {
 					// Grow: absorb all proposers.
-					for _, pr := range p {
-						x := states[clusterOf[pr.node]]
-						delete(x.members, pr.node)
+					for _, pr := range props[lo:hi] {
+						states[clusterOf[pr.node]].size--
 						clusterOf[pr.node] = t
-						y.members[pr.node] = struct{}{}
-						if _, inTree := y.parent[pr.node]; !inTree {
-							y.parent[pr.node] = pr.via
-							y.depth[pr.node] = y.depth[pr.via] + 1
-							if y.depth[pr.node] > y.maxDep {
-								y.maxDep = y.depth[pr.node]
+						y.size++
+						switch depth, inTree := treeAt[treeKey(t, pr.node)]; {
+						case pr.node == t:
+							memberDepth[pr.node] = 0 // back in its founder's root slot
+						case inTree:
+							memberDepth[pr.node] = depth // was a Steiner relay here
+						default:
+							dep := memberDepth[pr.via] + 1
+							y.treeNodes = append(y.treeNodes, pr.node)
+							y.treeParent = append(y.treeParent, pr.via)
+							y.treeDepth = append(y.treeDepth, dep)
+							treeAt[treeKey(t, pr.node)] = dep
+							memberDepth[pr.node] = dep
+							if int(dep) > y.maxDep {
+								y.maxDep = int(dep)
 							}
 						}
+						moved = append(moved, pr.node)
 					}
 				} else {
 					// Finish the bit: prune all proposers to later classes.
 					y.done = true
-					for _, pr := range p {
-						x := states[clusterOf[pr.node]]
-						delete(x.members, pr.node)
+					for _, pr := range props[lo:hi] {
+						states[clusterOf[pr.node]].size--
 						clusterOf[pr.node] = -1
 						live[pr.node] = false
 					}
 				}
+				lo = hi
 			}
+
+			// Next frontier: red live neighbors of the nodes that changed
+			// cluster (the only nodes whose target eligibility can have
+			// improved).
+			frontier = frontier[:0]
+			for _, v := range moved {
+				for _, w := range g.Neighbors(int(v)) {
+					if live[w] && !inFrontier[w] && states[clusterOf[w]].label&bitMask != 0 {
+						frontier = append(frontier, w)
+						inFrontier[w] = true
+					}
+				}
+			}
+			sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		}
 	}
 
-	// Surviving clusters become this color class.
-	founders := make([]int, 0, len(states))
-	for f, st := range states {
-		if len(st.members) > 0 {
-			founders = append(founders, f)
+	// Surviving clusters become this color class, ascending founder order;
+	// member lists fill in ascending node order from the live survivors.
+	clusterIdx := make([]int32, 0, n)
+	for f := 0; f < n; f++ {
+		st := &states[f]
+		if !st.used || st.size == 0 {
+			clusterIdx = append(clusterIdx, -1)
+			continue
 		}
-	}
-	sort.Ints(founders)
-	clustered := 0
-	for _, f := range founders {
-		st := states[f]
-		c := &Cluster{
+		clusterIdx = append(clusterIdx, int32(len(d.Clusters)))
+		parent := make(map[int]int, len(st.treeNodes)+1)
+		parent[f] = -1
+		for i, v := range st.treeNodes {
+			parent[int(v)] = int(st.treeParent[i])
+		}
+		d.Clusters = append(d.Clusters, &Cluster{
 			Label:      st.label,
 			Color:      color,
-			TreeParent: st.parent,
-			Root:       st.root,
+			Members:    make([]int, 0, st.size),
+			TreeParent: parent,
+			Root:       f,
 			TreeDepth:  st.maxDep,
+		})
+	}
+	clustered := 0
+	for v := 0; v < n; v++ {
+		if !live[v] {
+			continue
 		}
-		for v := range st.members {
-			c.Members = append(c.Members, v)
-			remaining[v] = false
-			d.ClusterOf[v] = len(d.Clusters)
-			clustered++
-		}
-		sort.Ints(c.Members)
-		d.Clusters = append(d.Clusters, c)
+		ci := clusterIdx[clusterOf[v]]
+		c := d.Clusters[ci]
+		c.Members = append(c.Members, v)
+		remaining[v] = false
+		d.ClusterOf[v] = int(ci)
+		clustered++
 	}
 	return clustered
 }

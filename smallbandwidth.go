@@ -26,6 +26,8 @@
 package smallbandwidth
 
 import (
+	"fmt"
+
 	"smallbandwidth/internal/baseline"
 	"smallbandwidth/internal/clique"
 	"smallbandwidth/internal/core"
@@ -105,24 +107,41 @@ func RandomLists(g *Graph, colorSpace uint32, slack int, seed uint64) (*Instance
 	return graph.RandomListInstance(g, colorSpace, slack, seed)
 }
 
-// ColorCONGEST solves the instance with the Theorem 1.1 CONGEST
-// algorithm in O(D·logn·logC·(logΔ+loglogC)) measured rounds. The graph
-// may be disconnected (components run in parallel).
-func ColorCONGEST(inst *Instance, opts ...CONGESTOptions) (*CONGESTResult, error) {
-	var o CONGESTOptions
-	if len(opts) > 0 {
+// oneOption resolves the variadic options pattern of the Color* entry
+// points: zero values mean defaults, one value is used as given, and more
+// than one is rejected — the old behavior of silently dropping opts[1:]
+// hid caller bugs where two configs were merged by mistake.
+func oneOption[O any](opts []O) (O, error) {
+	var o O
+	if len(opts) > 1 {
+		return o, fmt.Errorf("smallbandwidth: at most one options value may be passed, got %d", len(opts))
+	}
+	if len(opts) == 1 {
 		o = opts[0]
 	}
-	return core.ListColorComponents(inst, o)
+	return o, nil
+}
+
+// ColorCONGEST solves the instance with the Theorem 1.1 CONGEST
+// algorithm in O(D·logn·logC·(logΔ+loglogC)) measured rounds. The graph
+// may be disconnected: all components run concurrently inside one engine
+// run, with Rounds the max over components and Messages/Words the sums.
+func ColorCONGEST(inst *Instance, opts ...CONGESTOptions) (*CONGESTResult, error) {
+	o, err := oneOption(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.ListColorCONGEST(inst, o)
 }
 
 // ColorDecomposed solves the instance with the Corollary 1.2 pipeline:
 // network decomposition + per-class Theorem 1.1, polylog(n) rounds
-// independent of the diameter.
+// independent of the diameter. All clusters of one decomposition color
+// class execute as a single disjoint-union engine run.
 func ColorDecomposed(inst *Instance, opts ...CONGESTOptions) (*DecompResult, error) {
-	var o CONGESTOptions
-	if len(opts) > 0 {
-		o = opts[0]
+	o, err := oneOption(opts)
+	if err != nil {
+		return nil, err
 	}
 	return netdecomp.ListColorDecomposed(inst, o)
 }
@@ -132,9 +151,9 @@ func BuildDecomposition(g *Graph) (*Decomposition, error) { return netdecomp.Bui
 
 // ColorClique solves the instance in the congested clique (Theorem 1.3).
 func ColorClique(inst *Instance, opts ...CliqueOptions) (*CliqueResult, error) {
-	var o CliqueOptions
-	if len(opts) > 0 {
-		o = opts[0]
+	o, err := oneOption(opts)
+	if err != nil {
+		return nil, err
 	}
 	return clique.ListColorClique(inst, o)
 }
@@ -142,9 +161,9 @@ func ColorClique(inst *Instance, opts ...CliqueOptions) (*CliqueResult, error) {
 // ColorMPC solves the instance in the MPC model; set Sublinear in the
 // options to switch from Theorem 1.4 to Theorem 1.5.
 func ColorMPC(inst *Instance, opts ...MPCOptions) (*MPCResult, error) {
-	var o MPCOptions
-	if len(opts) > 0 {
-		o = opts[0]
+	o, err := oneOption(opts)
+	if err != nil {
+		return nil, err
 	}
 	return mpc.ListColorMPC(inst, o)
 }

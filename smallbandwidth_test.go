@@ -60,6 +60,58 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeRejectsMultipleOptions: the variadic opts pattern accepts
+// zero or one options value; passing several used to silently drop all
+// but the first.
+func TestFacadeRejectsMultipleOptions(t *testing.T) {
+	g := Cycle(8)
+	inst := DeltaPlusOne(g)
+	if _, err := ColorCONGEST(inst, CONGESTOptions{}, CONGESTOptions{MaxWords: 8}); err == nil {
+		t.Error("ColorCONGEST accepted two options values")
+	}
+	if _, err := ColorDecomposed(inst, CONGESTOptions{}, CONGESTOptions{MaxWords: 8}); err == nil {
+		t.Error("ColorDecomposed accepted two options values")
+	}
+	if _, err := ColorClique(inst, CliqueOptions{}, CliqueOptions{LambdaCap: 1}); err == nil {
+		t.Error("ColorClique accepted two options values")
+	}
+	if _, err := ColorMPC(inst, MPCOptions{}, MPCOptions{Sublinear: true}); err == nil {
+		t.Error("ColorMPC accepted two options values")
+	}
+	// Zero and one value still work.
+	if _, err := ColorCONGEST(inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ColorCONGEST(inst, CONGESTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeDisconnectedInstance: the façade entry points accept
+// disconnected graphs directly — all four paths run on the shared engine.
+func TestFacadeDisconnectedInstance(t *testing.T) {
+	b := NewGraphBuilder(10)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}} {
+		b.MustAddEdge(e[0], e[1])
+	}
+	g := b.Build() // two small components + isolated nodes
+	inst := DeltaPlusOne(g)
+	res, err := ColorCONGEST(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	dres, err := ColorDecomposed(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.VerifyColoring(dres.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeInstanceBuilders(t *testing.T) {
 	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
 	if err != nil {
