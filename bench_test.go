@@ -13,6 +13,7 @@ import (
 	"smallbandwidth/internal/baseline"
 	"smallbandwidth/internal/core"
 	"smallbandwidth/internal/enginebench"
+	"smallbandwidth/internal/gf2"
 	"smallbandwidth/internal/mpc"
 	"smallbandwidth/internal/netdecomp"
 	"smallbandwidth/internal/prng"
@@ -360,6 +361,83 @@ func BenchmarkEngineFlood(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------
+// Hot-path microbenchmarks: the derandomization kernel underneath the
+// engine workloads (see docs/PERF.md). CI runs these with -benchtime=1x
+// as a smoke check; run them with real benchtime to measure.
+// ---------------------------------------------------------------------
+
+// BenchmarkFieldMul measures the table-driven GF(2^m) multiply (windowed
+// carry-less product + byte-fold reduction).
+func BenchmarkFieldMul(b *testing.B) {
+	for _, m := range []int{8, 13, 32, 63} {
+		m := m
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			f := gf2.MustField(m)
+			mask := f.Order() - 1
+			x, y := uint64(0x9e3779b97f4a7c15)&mask, uint64(0xbf58476d1ce4e5b9)&mask
+			var acc uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acc = f.Mul(acc^x, y) | 1
+			}
+			sinkUint64 = acc
+		})
+	}
+}
+
+// BenchmarkFamilyEval measures a pairwise-independent hash evaluation
+// (Horner chain + word-extracted seed coefficients).
+func BenchmarkFamilyEval(b *testing.B) {
+	fam := gf2.MustFamily(13, 2)
+	seed := gf2.Vec128{Lo: 0x243f6a8885a308d3, Hi: 0x13198a2e03707344}
+	var acc uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc ^= fam.Eval(seed, uint64(i)&(fam.Field().Order()-1))
+	}
+	sinkUint64 = acc
+}
+
+// BenchmarkEdgeExpectation measures one Lemma 2.2 conditional-
+// expectation edge term on the split-basis fast path — the innermost
+// unit of work of the Theorem 1.1 derandomization (evaluated twice per
+// seed bit per conflict edge before the rework, once after).
+func BenchmarkEdgeExpectation(b *testing.B) {
+	fam := gf2.MustFamily(13, 2)
+	const acc = 11
+	fu := fam.OutputForms(7, acc)
+	fv := fam.OutputForms(19, acc)
+	cu, err := gf2.NewCoinFromForms(fu, 3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv, err := gf2.NewCoinFromForms(fv, 4, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	basis := gf2.NewBasis()
+	basis.FixBit(0, true)
+	basis.FixBit(2, false)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sb, ok := basis.Split(3 + i%8)
+		if !ok {
+			b.Fatal("split refused")
+		}
+		e0, e1 := core.EdgeExpectationSplit(sb, cu, cv, 3, 4, 4, 5)
+		sb.Release()
+		sink += e0 + e1
+	}
+	sinkFloat64 = sink
+}
+
+var (
+	sinkUint64  uint64
+	sinkFloat64 float64
+)
 
 func isqrtBench(x int) int {
 	r := 0

@@ -31,15 +31,22 @@ type EngineWorkload struct {
 	Mallocs    uint64 `json:"mallocs"`
 }
 
-// EngineRecord is one engine's full measurement set.
+// EngineRecord is one engine's full measurement set. GoMaxProcs is the
+// parallelism the sweep ran with and NumCPU the parallelism the host
+// offered, so a record pins both the single-core wall time
+// (gomaxprocs = 1) and the multi-core scaling (gomaxprocs = num_cpu) —
+// `-procs both` emits the two records in one invocation.
 type EngineRecord struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu,omitempty"`
 	Source     string           `json:"source"`
 	Workloads  []EngineWorkload `json:"workloads"`
 }
 
-// BenchFile is the BENCH_congest.json schema: a label→record map so
-// successive PRs append instead of overwrite.
+// BenchFile is the BENCH_congest.json schema (v2 adds num_cpu and the
+// `label@p1`/`label@pN` record pairs of -procs both; v1 records parse
+// unchanged): a label→record map so successive PRs append instead of
+// overwrite.
 type BenchFile struct {
 	Schema  string                  `json:"schema"`
 	Engines map[string]EngineRecord `json:"engines"`
@@ -240,6 +247,7 @@ func recordBench(path, label, schema, source string, workloads []EngineWorkload)
 	}
 	file.Engines[label] = EngineRecord{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Source:     source,
 		Workloads:  workloads,
 	}

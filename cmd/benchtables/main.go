@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	sb "smallbandwidth"
@@ -41,21 +42,42 @@ func main() {
 	decompMode := flag.Bool("decomp", false, "benchmark the Corollary 1.2 pipeline (sequential vs batched) and record BENCH_decomp.json")
 	label := flag.String("label", "current", "label for the -engine/-clique/-mpc/-decomp record")
 	out := flag.String("o", "", "output path for the -engine/-clique/-mpc/-decomp record (default per mode)")
+	procs := flag.String("procs", "current", "GOMAXPROCS for the record sweeps: current, 1, max, or both (runs the sweep at GOMAXPROCS=1 and NumCPU, recording <label>@p1 and <label>@pN)")
 	flag.Parse()
 	record := func(defPath, schema, source string, workloads func(bool) []EngineWorkload) {
 		path := *out
 		if path == "" {
 			path = defPath
 		}
-		if err := recordBench(path, *label, schema, source, workloads(*quick)); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtables:", err)
+		runAt := func(label string, gomaxprocs int) {
+			if gomaxprocs > 0 {
+				old := runtime.GOMAXPROCS(gomaxprocs)
+				defer runtime.GOMAXPROCS(old)
+			}
+			if err := recordBench(path, label, schema, source, workloads(*quick)); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded benchmarks under label %q in %s (GOMAXPROCS=%d)\n", label, path, runtime.GOMAXPROCS(0))
+		}
+		switch *procs {
+		case "current":
+			runAt(*label, 0)
+		case "1":
+			runAt(*label, 1)
+		case "max":
+			runAt(*label, runtime.NumCPU())
+		case "both":
+			runAt(*label+"@p1", 1)
+			runAt(*label+"@pN", runtime.NumCPU())
+		default:
+			fmt.Fprintf(os.Stderr, "benchtables: unknown -procs value %q (want current, 1, max, or both)\n", *procs)
 			os.Exit(1)
 		}
-		fmt.Printf("recorded benchmarks under label %q in %s\n", *label, path)
 	}
 	switch {
 	case *engine:
-		record("BENCH_congest.json", "smallbandwidth/bench-congest/v1", "cmd/benchtables -engine", engineBench)
+		record("BENCH_congest.json", "smallbandwidth/bench-congest/v2", "cmd/benchtables -engine", engineBench)
 		return
 	case *cliqueMode:
 		record("BENCH_clique.json", "smallbandwidth/bench-clique/v1", "cmd/benchtables -clique", cliqueBench)

@@ -35,6 +35,33 @@ type Tree struct {
 	// arrived by start+SubtreeHeight, so the wait can be a single engine
 	// sleep instead of one barrier per round.
 	SubtreeHeight int
+
+	// Reusable ConvergeSumLockstep scratch (see that function): the
+	// result vector and the outgoing message buffers of the node's last
+	// lockstep aggregation. The derandomization fixes one seed bit per
+	// aggregation — millions per run — and reusing these buffers makes
+	// the steady-state aggregation allocation-free.
+	convAcc  []float64
+	convMsgs [][]uint64
+	convNext int
+}
+
+// convMsg returns the next reusable outgoing-message buffer, sized for
+// n words. Buffer k of call i is only rewritten on call i+1, after the
+// lockstep schedule guarantees its receiver consumed (and flipped past)
+// the payload: every payload of one aggregation is read by round
+// start+Height+maxDepth, and the lockstep contract makes the next call
+// start at or after that round, with the engine barrier ordering the
+// old read before the new write.
+func (t *Tree) convMsg(n int) Message {
+	if t.convNext == len(t.convMsgs) {
+		t.convMsgs = append(t.convMsgs, make([]uint64, 0, n))
+	} else if cap(t.convMsgs[t.convNext]) < n {
+		t.convMsgs[t.convNext] = make([]uint64, 0, n)
+	}
+	m := t.convMsgs[t.convNext][:0]
+	t.convNext++
+	return m
 }
 
 // BuildBFSTree constructs a BFS spanning tree rooted at root using the
@@ -274,7 +301,28 @@ func ConvergeSum(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
 // message timing, Stats, and results stay round-for-round identical to
 // ConvergeSum. A violated contract surfaces as a protocol panic, not a
 // wrong sum.
+//
+// The returned slice and the outgoing message buffers live on the Tree
+// and are reused by the next ConvergeSumLockstep call on it (the
+// derandomization runs one aggregation per seed bit, and this reuse
+// makes the steady state allocation-free): callers must copy the result
+// before aggregating again.
 func ConvergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 {
+	return convergeSumLockstep(ctx, t, op, vec, -1)
+}
+
+// ConvergeSumLockstepTo is ConvergeSumLockstep followed by a SpinUntil
+// to the given absolute round, fused: a node without children has
+// nothing to forward, so its wait for the down-chunk and the
+// resynchronization spin collapse into a single engine sleep — one
+// wake-up fewer per aggregation for every leaf of the tree, at
+// identical rounds, messages, and Stats. Requires until ≥ the round the
+// plain ConvergeSumLockstep would finish in (start+Height+Depth).
+func ConvergeSumLockstepTo(ctx *Ctx, t *Tree, op uint64, vec []float64, until int) []float64 {
+	return convergeSumLockstep(ctx, t, op, vec, until)
+}
+
+func convergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64, until int) []float64 {
 	if len(vec) == 0 {
 		panic("congest: ConvergeSumLockstep of empty vector")
 	}
@@ -283,7 +331,11 @@ func ConvergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 
 	}
 	start := ctx.Round()
 	l := len(vec)
-	acc := make([]float64, l)
+	if cap(t.convAcc) < l {
+		t.convAcc = make([]float64, l)
+	}
+	t.convNext = 0
+	acc := t.convAcc[:l]
 	copy(acc, vec)
 
 	takeUp := func(in Incoming) {
@@ -296,7 +348,7 @@ func ConvergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 
 		}
 	}
 	pack := func(data []float64) Message {
-		msg := make(Message, 0, 2+l)
+		msg := t.convMsg(2 + l)
 		msg = append(msg, tagUp, op)
 		for _, f := range data {
 			msg = append(msg, math.Float64bits(f))
@@ -321,25 +373,36 @@ func ConvergeSumLockstep(ctx *Ctx, t *Tree, op uint64, vec []float64) []float64 
 			msg[0] = tagDown
 			ctx.SendQueued(ch, msg)
 		}
+		if until > ctx.Round() {
+			spinUntil(ctx, until)
+		}
 		return acc
 	}
 	ctx.SendQueued(t.Parent, pack(acc))
 
 	// Down phase: the root finishes at start+Height and its broadcast
-	// reaches depth d exactly at start+Height+d.
-	result := make([]float64, l)
-	down := ctx.SkipUntil(start + t.Height + t.Depth)
+	// reaches depth d exactly at start+Height+d. A childless node fuses
+	// the down-wait with the trailing resynchronization spin.
+	wait := start + t.Height + t.Depth
+	if len(t.Children) == 0 && until > wait {
+		wait = until
+	}
+	down := ctx.SkipUntil(wait)
 	if len(down) != 1 || down[0].Payload[0] != tagDown || down[0].Payload[1] != op {
 		panic(fmt.Sprintf("congest: node %d expected its down-chunk of op %d at round %d, got %d message(s)",
 			ctx.ID(), op, ctx.Round(), len(down)))
 	}
+	result := acc
 	for i, w := range down[0].Payload[2:] {
 		result[i] = math.Float64frombits(w)
 	}
 	for _, ch := range t.Children {
-		fwd := make(Message, len(down[0].Payload))
-		copy(fwd, down[0].Payload)
+		fwd := t.convMsg(len(down[0].Payload))
+		fwd = append(fwd, down[0].Payload...)
 		ctx.SendQueued(ch, fwd)
+	}
+	if until > ctx.Round() {
+		spinUntil(ctx, until)
 	}
 	return result
 }

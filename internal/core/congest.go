@@ -40,44 +40,67 @@ type Result struct {
 }
 
 // metrics collects measurement-only data outside the protocol.
+// Potential contributions are stored per node and summed in node order
+// at collection: a shared accumulator would add them in goroutine
+// completion order, making the reported float sums depend on
+// scheduling. Per-node storage keeps the telemetry bit-deterministic
+// across runs and worker counts (the differential tests compare it
+// bitwise).
 type metrics struct {
 	mu       sync.Mutex
-	potStart map[int]float64
-	potPhase map[int]map[int]float64
+	n        int
+	potStart map[int][]float64         // iteration → per-node Φ₀ contribution
+	potPhase map[int]map[int][]float64 // iteration → phase → per-node Φ_ℓ
 	colored  map[int]int
 	alive    map[int]int
 	track    bool
 }
 
-func newMetrics(track bool) *metrics {
+func newMetrics(track bool, n int) *metrics {
 	return &metrics{
-		potStart: map[int]float64{},
-		potPhase: map[int]map[int]float64{},
+		n:        n,
+		potStart: map[int][]float64{},
+		potPhase: map[int]map[int][]float64{},
 		colored:  map[int]int{},
 		alive:    map[int]int{},
 		track:    track,
 	}
 }
 
-func (m *metrics) addPotStart(iter int, phi float64) {
+func (m *metrics) addPotStart(iter, node int, phi float64) {
 	if !m.track {
 		return
 	}
 	m.mu.Lock()
-	m.potStart[iter] += phi
+	if m.potStart[iter] == nil {
+		m.potStart[iter] = make([]float64, m.n)
+	}
+	m.potStart[iter][node] = phi
 	m.mu.Unlock()
 }
 
-func (m *metrics) addPotPhase(iter, phase int, phi float64) {
+func (m *metrics) addPotPhase(iter, phase, node int, phi float64) {
 	if !m.track {
 		return
 	}
 	m.mu.Lock()
 	if m.potPhase[iter] == nil {
-		m.potPhase[iter] = map[int]float64{}
+		m.potPhase[iter] = map[int][]float64{}
 	}
-	m.potPhase[iter][phase] += phi
+	if m.potPhase[iter][phase] == nil {
+		m.potPhase[iter][phase] = make([]float64, m.n)
+	}
+	m.potPhase[iter][phase][node] = phi
 	m.mu.Unlock()
+}
+
+// sumNodeOrder folds per-node contributions in ascending node order.
+func sumNodeOrder(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
 }
 
 func (m *metrics) addColored(iter, weight int) {
@@ -294,7 +317,7 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		}
 	}
 
-	m := newMetrics(opts.TrackPotentials)
+	m := newMetrics(opts.TrackPotentials, inst.G.N())
 	colors := make([]uint32, inst.G.N())
 	coloredFlag := make([]bool, inst.G.N())
 	var mu sync.Mutex
@@ -334,12 +357,16 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		res.AliveAt = append(res.AliveAt, a)
 		res.Colored = append(res.Colored, m.colored[iter])
 		if opts.TrackPotentials {
-			res.PotentialStart = append(res.PotentialStart, m.potStart[iter])
+			res.PotentialStart = append(res.PotentialStart, sumNodeOrder(m.potStart[iter]))
 			phases := make([]float64, p.LogC)
 			for l := 1; l <= p.LogC; l++ {
-				phases[l-1] = m.potPhase[iter][l]
+				phases[l-1] = sumNodeOrder(m.potPhase[iter][l])
 			}
 			res.PotentialPhase = append(res.PotentialPhase, phases)
+			// Folded: release the per-node contribution slices so tracked
+			// runs hold at most the iterations not yet collected.
+			delete(m.potStart, iter)
+			delete(m.potPhase, iter)
 		}
 	}
 	if res.Done && weights == nil {
@@ -385,6 +412,59 @@ type nodeState struct {
 	hNbr      []bool
 	nbrColors []uint64
 	basisTmp  gf2.Basis
+
+	// Derandomization hot-path caches. The coin *forms* of a node depend
+	// only on (ψ, B), both fixed for the whole run once Linial finishes,
+	// so each node materializes its own and every conflict neighbor's
+	// hash-output forms once and reuses them every phase — only the coin
+	// thresholds change per phase. The caches are keyed by the ψ value
+	// actually used, so a changed ψ would rebuild rather than miscompute.
+	myForms     []gf2.Form
+	myFormsPsi  uint64
+	myFormsOK   bool
+	nbrForms    [][]gf2.Form
+	nbrFormsPsi []uint64
+	nbrFormsOK  []bool
+
+	phaseBasis gf2.Basis  // reused seed-bit basis (one Reset per phase)
+	convVec    [2]float64 // reused aggregation input vector
+	ownedIdx   []int32    // neighbor indexes of owned conflict edges (rebuilt per phase)
+
+	// msgArena holds the reusable outgoing payload buffers, 4 words (the
+	// bandwidth cap) per neighbor, two arenas alternating by round
+	// parity: a payload written in round r is read by its receiver
+	// during round r+1 — possibly while the sender is already writing
+	// its round-r+1 messages — so consecutive rounds must not share
+	// buffers. With two arenas a buffer is rewritten no earlier than
+	// round r+2, by when the engine's barrier ordering guarantees the
+	// round-r+1 read has happened-before the write.
+	msgArena [2][]uint64
+}
+
+// msgBuf returns the empty reusable payload buffer for neighbor index i
+// in the current round (append up to 4 words, then Send).
+func (ns *nodeState) msgBuf(i int) congest.Message {
+	a := ns.msgArena[ns.ctx.Round()&1]
+	return a[4*i : 4*i : 4*i+4]
+}
+
+// ownForms returns this node's cached hash-output forms for ψ.
+func (ns *nodeState) ownForms() []gf2.Form {
+	if !ns.myFormsOK || ns.myFormsPsi != ns.psi {
+		ns.myForms = ns.p.Fam.OutputFormsInto(ns.psi, ns.p.B, ns.myForms)
+		ns.myFormsPsi, ns.myFormsOK = ns.psi, true
+	}
+	return ns.myForms
+}
+
+// neighborForms returns the cached hash-output forms of neighbor index i
+// with input color psi.
+func (ns *nodeState) neighborForms(i int, psi uint64) []gf2.Form {
+	if !ns.nbrFormsOK[i] || ns.nbrFormsPsi[i] != psi {
+		ns.nbrForms[i] = ns.p.Fam.OutputFormsInto(psi, ns.p.B, ns.nbrForms[i])
+		ns.nbrFormsPsi[i], ns.nbrFormsOK[i] = psi, true
+	}
+	return ns.nbrForms[i]
 }
 
 func (ns *nodeState) init(inst *graph.Instance) {
@@ -402,6 +482,11 @@ func (ns *nodeState) init(inst *graph.Instance) {
 	ns.nbrCoins = make([]gf2.Coin, deg)
 	ns.hNbr = make([]bool, deg)
 	ns.nbrColors = make([]uint64, 0, deg)
+	ns.nbrForms = make([][]gf2.Form, deg)
+	ns.nbrFormsPsi = make([]uint64, deg)
+	ns.nbrFormsOK = make([]bool, deg)
+	ns.msgArena[0] = make([]uint64, 4*deg)
+	ns.msgArena[1] = make([]uint64, 4*deg)
 }
 
 func (ns *nodeState) run() {
@@ -432,8 +517,8 @@ func (ns *nodeState) run() {
 func (ns *nodeState) runLinial() {
 	ns.psi = ns.rank
 	for _, st := range ns.p.LinialSched {
-		for _, w := range ns.ctx.Neighbors() {
-			ns.ctx.Send(int(w), congest.Message{tagLinial, ns.psi})
+		for i, w := range ns.ctx.Neighbors() {
+			ns.ctx.Send(int(w), append(ns.msgBuf(i), tagLinial, ns.psi))
 		}
 		nbrColors := ns.nbrColors[:0]
 		for _, in := range ns.ctx.Next() {
@@ -463,13 +548,17 @@ func (ns *nodeState) partialIteration(iter int) {
 	}
 	if ns.alive {
 		ns.cands = append(ns.cands[:0], ns.list...)
-		ns.m.addPotStart(iter, float64(ns.weight)*float64(aliveDeg)/float64(len(ns.cands)))
+		ns.m.addPotStart(iter, ns.ctx.ID(), float64(ns.weight)*float64(aliveDeg)/float64(len(ns.cands)))
 	} else {
 		ns.cands = ns.cands[:0]
 	}
 
 	for l := 1; l <= ns.p.LogC; l++ {
-		ns.runPhase(iter, l)
+		if ns.opts.refEval {
+			ns.runPhaseRef(iter, l)
+		} else {
+			ns.runPhase(iter, l)
+		}
 	}
 
 	// All bits fixed: the single candidate color and the conflict degree.
@@ -492,7 +581,7 @@ func (ns *nodeState) partialIteration(iter int) {
 	if ns.alive {
 		for i, w := range ns.ctx.Neighbors() {
 			if ns.conflict[i] {
-				ns.ctx.Send(int(w), congest.Message{tagV4, boolWord(inV4)})
+				ns.ctx.Send(int(w), append(ns.msgBuf(i), tagV4, boolWord(inV4)))
 			}
 		}
 	}
@@ -517,7 +606,7 @@ func (ns *nodeState) partialIteration(iter int) {
 		if inV4 {
 			for i, w := range ns.ctx.Neighbors() {
 				if hNbr[i] {
-					ns.ctx.Send(int(w), congest.Message{tagHLin, hColor})
+					ns.ctx.Send(int(w), append(ns.msgBuf(i), tagHLin, hColor))
 				}
 			}
 		}
@@ -543,7 +632,7 @@ func (ns *nodeState) partialIteration(iter int) {
 			inMIS = true
 			for i, w := range ns.ctx.Neighbors() {
 				if hNbr[i] {
-					ns.ctx.Send(int(w), congest.Message{tagMIS})
+					ns.ctx.Send(int(w), append(ns.msgBuf(i), tagMIS))
 				}
 			}
 		}
@@ -567,8 +656,8 @@ func (ns *nodeState) finishIteration(iter int, inMIS bool) {
 		ns.colored = true
 		ns.alive = false
 		ns.m.addColored(iter, ns.weight)
-		for _, w := range ns.ctx.Neighbors() {
-			ns.ctx.Send(int(w), congest.Message{tagFinal, uint64(ns.color)})
+		for i, w := range ns.ctx.Neighbors() {
+			ns.ctx.Send(int(w), append(ns.msgBuf(i), tagFinal, uint64(ns.color)))
 		}
 	}
 	for _, in := range ns.ctx.Next() {
@@ -586,7 +675,180 @@ func (ns *nodeState) finishIteration(iter int, inMIS bool) {
 // the D seed bits one by one — each by one tree aggregation of the two
 // conditional expectations — and finally extend prefixes and prune the
 // conflict graph.
+//
+// This is the derandomization hot path, restructured for the steady
+// state: coin forms come from the per-run caches (only thresholds change
+// per phase), the seed-bit basis contains nothing but fixed bits — which
+// the gf2.Basis representation folds in O(1) instead of one elimination
+// row per already-fixed bit — both β branches of an edge are evaluated
+// back-to-back against that incrementally maintained basis, and every
+// buffer (payloads, aggregation vector, basis storage) is reused, so a
+// phase allocates nothing once the caches are warm. runPhaseRef keeps
+// the pre-optimization evaluation path; the two must produce
+// bit-identical seeds, potentials, and traffic.
 func (ns *nodeState) runPhase(iter, l int) {
+	deg := ns.ctx.Degree()
+	bitPos := ns.p.LogC - l
+	var k1, k0 int
+	if ns.alive {
+		k1 = countBitOnes(ns.cands, bitPos)
+		k0 = len(ns.cands) - k1
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] {
+				ns.ctx.Send(int(w), append(ns.msgBuf(i), tagPhase, uint64(k1), uint64(len(ns.cands)), ns.psi))
+			}
+		}
+	}
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagPhase)
+		i := ns.ctx.NeighborIndex(in.From)
+		ns.nbrK1[i], ns.nbrLen[i], ns.nbrPsi[i] = in.Payload[1], in.Payload[2], in.Payload[3]
+	}
+
+	// Bind this node's and the conflict neighbors' cached forms to this
+	// phase's thresholds.
+	var myCoin gf2.Coin
+	nbrCoins := ns.nbrCoins
+	if ns.alive {
+		var err error
+		myCoin, err = gf2.NewCoinFromForms(ns.ownForms(), uint64(k1), uint64(len(ns.cands)))
+		if err != nil {
+			panic(fmt.Sprintf("core: node %d coin: %v", ns.ctx.ID(), err))
+		}
+		for i := 0; i < deg; i++ {
+			if !ns.conflict[i] {
+				continue
+			}
+			nbrCoins[i], err = gf2.NewCoinFromForms(ns.neighborForms(i, ns.nbrPsi[i]), ns.nbrK1[i], ns.nbrLen[i])
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d neighbor coin: %v", ns.ctx.ID(), err))
+			}
+		}
+	}
+
+	// Owned conflict edges (each edge is owned by its smaller endpoint);
+	// the conflict set is fixed for the whole phase, so the seed-bit loop
+	// iterates this list instead of rescanning the full neighbor set D
+	// times.
+	ns.ownedIdx = ns.ownedIdx[:0]
+	if ns.alive {
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] && int(w) > ns.ctx.ID() {
+				ns.ownedIdx = append(ns.ownedIdx, int32(i))
+			}
+		}
+	}
+
+	// Fix the D seed bits by the method of conditional expectations.
+	basis := &ns.phaseBasis
+	basis.Reset()
+	var seed gf2.Vec128
+	var prefix uint64
+	memoable := ns.p.D <= 64 // the chosen prefix must fit one memo key word
+	for j := 0; j < ns.p.D; j++ {
+		var x0, x1 float64
+		if ns.alive {
+			// One symbolic conditioning on seed bit j serves every owned
+			// edge and both β branches: the basis holds only the already
+			// chosen bits 0..j−1, so bit j is always free to split. The
+			// clone-and-FixBit fallback keeps the evaluation total if that
+			// ever stopped holding.
+			sb, split := basis.Split(j)
+			for _, i := range ns.ownedIdx {
+				k1v, k0v := int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i])
+				if split && memoable {
+					// The neighbor's marginal is shared by every owner
+					// evaluating an edge into it at this seed bit; fetch it
+					// from the global memo of this pure function (the memo
+					// returns the bit-identical value a local walk computes).
+					cv := nbrCoins[i]
+					mk3 := uint64(j) | uint64(ns.p.M)<<8 | uint64(ns.p.B)<<16
+					pv0, pv1, ok := margLoad(ns.nbrPsi[i], cv.Threshold(), prefix, mk3)
+					if !ok {
+						pv0, pv1 = sb.ProbOnePair(cv)
+						margStore(ns.nbrPsi[i], cv.Threshold(), prefix, mk3, pv0, pv1)
+					}
+					p1u0, p110, p1u1, p111 := sb.EdgePairGivenMarginal(myCoin, cv, pv0, pv1)
+					x0 += edgeCombine(p1u0, pv0, p110, k1, k0, k1v, k0v)
+					x1 += edgeCombine(p1u1, pv1, p111, k1, k0, k1v, k0v)
+					continue
+				}
+				if split {
+					e0, e1 := EdgeExpectationSplit(sb, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
+					x0 += e0
+					x1 += e1
+					continue
+				}
+				bs2 := basis.CloneInto(&ns.basisTmp)
+				if !bs2.FixBit(j, false) {
+					panic("core: seed bit re-fix inconsistent")
+				}
+				x0 += EdgeExpectation(bs2, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
+				bs2 = basis.CloneInto(&ns.basisTmp)
+				if !bs2.FixBit(j, true) {
+					panic("core: seed bit re-fix inconsistent")
+				}
+				x1 += EdgeExpectation(bs2, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
+			}
+			if split {
+				sb.Release()
+			}
+		}
+		totals := ns.converge(x0, x1)
+		// All nodes see identical totals, so the argmin choice needs no
+		// extra broadcast; ties go to 0.
+		rj := totals[1] < totals[0]
+		if !basis.FixBit(j, rj) {
+			panic("core: chosen seed bit inconsistent")
+		}
+		seed = seed.WithBit(j, rj)
+		if rj && j < 64 {
+			prefix |= uint64(1) << j
+		}
+	}
+
+	ns.finishPhase(iter, l, bitPos, myCoin, seed)
+}
+
+// finishPhase extends prefixes and prunes the conflict graph (1 round);
+// shared tail of runPhase and runPhaseRef.
+func (ns *nodeState) finishPhase(iter, l, bitPos int, myCoin gf2.Coin, seed gf2.Vec128) {
+	var myBit bool
+	if ns.alive {
+		myBit = myCoin.Value(seed)
+		ns.cands = filterByBit(ns.cands, bitPos, myBit)
+		if len(ns.cands) == 0 {
+			panic(fmt.Sprintf("core: node %d candidate list became empty", ns.ctx.ID()))
+		}
+		for i, w := range ns.ctx.Neighbors() {
+			if ns.conflict[i] {
+				ns.ctx.Send(int(w), append(ns.msgBuf(i), tagBit, boolWord(myBit)))
+			}
+		}
+	}
+	confDeg := 0
+	for _, in := range ns.ctx.Next() {
+		mustTag(in, tagBit)
+		i := ns.ctx.NeighborIndex(in.From)
+		if ns.conflict[i] {
+			ns.conflict[i] = ns.alive && (in.Payload[1] == 1) == myBit
+			if ns.conflict[i] {
+				confDeg++
+			}
+		}
+	}
+	if ns.alive {
+		ns.m.addPotPhase(iter, l, ns.ctx.ID(), float64(ns.weight)*float64(confDeg)/float64(len(ns.cands)))
+	}
+}
+
+// runPhaseRef is the pre-optimization phase evaluation, kept as the
+// differential reference for the hot path: per-phase coin construction
+// through Family.OutputForms, a fresh basis whose fixed bits are stored
+// as ordinary echelon rows cloned and re-reduced per β branch, and
+// allocating sends. TestPhasePotentialsMatchReference pins that runPhase
+// reproduces its seeds, potentials, stats, and colors bit for bit.
+func (ns *nodeState) runPhaseRef(iter, l int) {
 	deg := ns.ctx.Degree()
 	bitPos := ns.p.LogC - l
 	var k1, k0 int
@@ -605,7 +867,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 		ns.nbrK1[i], ns.nbrLen[i], ns.nbrPsi[i] = in.Payload[1], in.Payload[2], in.Payload[3]
 	}
 
-	// Build this node's coin and its conflict neighbors' coins.
+	// Build this node's coin and its conflict neighbors' coins afresh.
 	var myCoin gf2.Coin
 	nbrCoins := ns.nbrCoins
 	if ns.alive {
@@ -625,23 +887,21 @@ func (ns *nodeState) runPhase(iter, l int) {
 		}
 	}
 
-	// Fix the D seed bits by the method of conditional expectations.
 	basis := gf2.NewBasis()
 	var seed gf2.Vec128
 	for j := 0; j < ns.p.D; j++ {
 		var x0, x1 float64
 		if ns.alive {
 			for i, w := range ns.ctx.Neighbors() {
-				// Each conflict edge is owned by its smaller endpoint.
 				if !ns.conflict[i] || int(w) < ns.ctx.ID() {
 					continue
 				}
 				for _, beta := range []bool{false, true} {
-					bs2 := basis.CloneInto(&ns.basisTmp)
+					bs2 := basis.Clone()
 					if !bs2.FixBit(j, beta) {
 						panic("core: seed bit re-fix inconsistent")
 					}
-					e := edgeExpectation(bs2, myCoin, nbrCoins[i],
+					e := EdgeExpectation(bs2, myCoin, nbrCoins[i],
 						k1, k0, int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i]))
 					if beta {
 						x1 += e
@@ -652,8 +912,6 @@ func (ns *nodeState) runPhase(iter, l int) {
 			}
 		}
 		totals := ns.converge(x0, x1)
-		// All nodes see identical totals, so the argmin choice needs no
-		// extra broadcast; ties go to 0.
 		rj := totals[1] < totals[0]
 		if !basis.FixBit(j, rj) {
 			panic("core: chosen seed bit inconsistent")
@@ -661,34 +919,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 		seed = seed.WithBit(j, rj)
 	}
 
-	// Extend prefixes and prune the conflict graph (1 round).
-	var myBit bool
-	if ns.alive {
-		myBit = myCoin.Value(seed)
-		ns.cands = filterByBit(ns.cands, bitPos, myBit)
-		if len(ns.cands) == 0 {
-			panic(fmt.Sprintf("core: node %d candidate list became empty", ns.ctx.ID()))
-		}
-		for i, w := range ns.ctx.Neighbors() {
-			if ns.conflict[i] {
-				ns.ctx.Send(int(w), congest.Message{tagBit, boolWord(myBit)})
-			}
-		}
-	}
-	confDeg := 0
-	for _, in := range ns.ctx.Next() {
-		mustTag(in, tagBit)
-		i := ns.ctx.NeighborIndex(in.From)
-		if ns.conflict[i] {
-			ns.conflict[i] = ns.alive && (in.Payload[1] == 1) == myBit
-			if ns.conflict[i] {
-				confDeg++
-			}
-		}
-	}
-	if ns.alive {
-		ns.m.addPotPhase(iter, l, float64(ns.weight)*float64(confDeg)/float64(len(ns.cands)))
-	}
+	ns.finishPhase(iter, l, bitPos, myCoin, seed)
 }
 
 // converge aggregates the pair (x0, x1) over all nodes via the BFS tree
@@ -701,8 +932,9 @@ func (ns *nodeState) converge(x0, x1 float64) [2]float64 {
 	// one's SpinUntil (or the synchronized tree build), so the
 	// skip-scheduled aggregation applies — nodes sleep through the wave
 	// instead of ticking every round.
-	res := congest.ConvergeSumLockstep(ns.ctx, ns.tree, ns.op, []float64{x0, x1})
-	congest.SpinUntil(ns.ctx, start+2*ns.tree.Height+6)
+	ns.convVec[0], ns.convVec[1] = x0, x1
+	res := congest.ConvergeSumLockstepTo(ns.ctx, ns.tree, ns.op, ns.convVec[:], start+2*ns.tree.Height+6)
+	// Copy before returning: the result buffer lives on the tree.
 	return [2]float64{res[0], res[1]}
 }
 

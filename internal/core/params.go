@@ -11,7 +11,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"smallbandwidth/internal/gf2"
 	"smallbandwidth/internal/graph"
@@ -62,6 +64,12 @@ type Options struct {
 	MaxWords int
 	// MaxRounds overrides the CONGEST round cap (0 = default).
 	MaxRounds int
+
+	// refEval routes every derandomization phase through the
+	// pre-optimization evaluation path (runPhaseRef). Test-only: the
+	// differential tests pin that the optimized hot path reproduces the
+	// reference bit for bit.
+	refEval bool
 }
 
 // ComputeParams validates the instance and derives all global parameters.
@@ -137,14 +145,90 @@ func computeParamsFor(n, delta int, c uint32, opts Options) (*Params, error) {
 	return p, nil
 }
 
-// edgeExpectation returns E[X_e | basis] for a conflict edge, where
+// EdgeExpectation returns E[X_e | basis] for a conflict edge, where
 // X_e = 1{e survives}·(1/|L_ℓ(u)|+1/|L_ℓ(v)|) exactly as in Lemma 2.2:
 // the edge survives iff both endpoints extend their prefix with the same
 // bit, and the surviving list sizes are k1 (bit 1) or k0 (bit 0).
-func edgeExpectation(bs *gf2.Basis, cu, cv gf2.Coin, k1u, k0u, k1v, k0v int) float64 {
-	p1u := cu.ProbOne(bs)
+// Exported for the hot-path microbenchmarks (BenchmarkEdgeExpectation).
+func EdgeExpectation(bs *gf2.Basis, cu, cv gf2.Coin, k1u, k0u, k1v, k0v int) float64 {
+	p1u, p11 := gf2.ProbOneAndBothOne(bs, cu, cv)
 	p1v := cv.ProbOne(bs)
-	p11 := gf2.ProbBothOne(bs, cu, cv)
+	return edgeCombine(p1u, p1v, p11, k1u, k0u, k1v, k0v)
+}
+
+// EdgeExpectationSplit returns EdgeExpectation under both branches of a
+// split seed bit in one mask-elimination pass (the "both β in one pass"
+// restructuring of the Lemma 2.6 inner loop): e0 conditions on bit=0,
+// e1 on bit=1. Bit-identical to two EdgeExpectation calls on bases with
+// the bit fixed.
+func EdgeExpectationSplit(sb *gf2.SplitBasis, cu, cv gf2.Coin, k1u, k0u, k1v, k0v int) (e0, e1 float64) {
+	p1u0, p1v0, p110, p1u1, p1v1, p111 := sb.EdgePair(cu, cv)
+	return edgeCombine(p1u0, p1v0, p110, k1u, k0u, k1v, k0v),
+		edgeCombine(p1u1, p1v1, p111, k1u, k0u, k1v, k0v)
+}
+
+// margMemo is a global memo of neighbor-marginal probabilities: the
+// value Pr[C_w = 1 | seed bits 0..j−1 = prefix, bit j = β] is a pure
+// function of (M, B, ψ_w, threshold, j, prefix) — the field and family
+// are deterministic per M — and the conditioning prefix is *global*
+// (every node fixes the same seed bits), so all ~Δ owners evaluating
+// edges into w at seed bit j need the same pair of numbers. The table
+// is a fixed-size direct-mapped cache of seqlock slots: entries are
+// written and read with per-word atomics and validated by the sequence
+// number, collisions simply overwrite, and a lost or stale entry only
+// costs a recomputation of the same bit-identical value.
+const margSlots = 1 << 15
+
+type margSlot struct {
+	seq atomic.Uint64
+	k   [4]atomic.Uint64
+	v   [2]atomic.Uint64
+}
+
+var margTab [margSlots]margSlot
+
+func margIndex(k0, k1, k2, k3 uint64) *margSlot {
+	h := uint64(1469598103934665603)
+	for _, w := range [4]uint64{k0, k1, k2, k3} {
+		h ^= w
+		h *= 1099511628211
+	}
+	return &margTab[(h^h>>29)&(margSlots-1)]
+}
+
+func margLoad(k0, k1, k2, k3 uint64) (p0, p1 float64, ok bool) {
+	s := margIndex(k0, k1, k2, k3)
+	s1 := s.seq.Load()
+	if s1&1 != 0 {
+		return 0, 0, false
+	}
+	a0, a1, a2, a3 := s.k[0].Load(), s.k[1].Load(), s.k[2].Load(), s.k[3].Load()
+	v0, v1 := s.v[0].Load(), s.v[1].Load()
+	if s.seq.Load() != s1 || a0 != k0 || a1 != k1 || a2 != k2 || a3 != k3 {
+		return 0, 0, false
+	}
+	return math.Float64frombits(v0), math.Float64frombits(v1), true
+}
+
+func margStore(k0, k1, k2, k3 uint64, p0, p1 float64) {
+	s := margIndex(k0, k1, k2, k3)
+	s1 := s.seq.Load()
+	if s1&1 != 0 || !s.seq.CompareAndSwap(s1, s1+1) {
+		return // another writer owns the slot; drop this entry
+	}
+	s.k[0].Store(k0)
+	s.k[1].Store(k1)
+	s.k[2].Store(k2)
+	s.k[3].Store(k3)
+	s.v[0].Store(math.Float64bits(p0))
+	s.v[1].Store(math.Float64bits(p1))
+	s.seq.Store(s1 + 2)
+}
+
+// edgeCombine assembles the Lemma 2.2 edge term from the three joint
+// coin probabilities (shared by the one-basis and split evaluations; the
+// expression and operation order are part of the bit-identity contract).
+func edgeCombine(p1u, p1v, p11 float64, k1u, k0u, k1v, k0v int) float64 {
 	p00 := 1 - p1u - p1v + p11
 	var e float64
 	if p11 > 0 {

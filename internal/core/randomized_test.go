@@ -204,7 +204,7 @@ func TestEdgeExpectationMatchesCensus(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := edgeExpectation(gf2.NewBasis(), cu, cv, c.u.k1, c.u.list-c.u.k1, c.v.k1, c.v.list-c.v.k1)
+		got := EdgeExpectation(gf2.NewBasis(), cu, cv, c.u.k1, c.u.list-c.u.k1, c.v.k1, c.v.list-c.v.k1)
 
 		want := 0.0
 		total := 0

@@ -44,6 +44,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sync"
@@ -200,12 +201,18 @@ type Ctx struct {
 	inboxes [2][]Incoming
 	cur     int
 
-	// rdirty is set by senders when an incoming edge queue of this node
-	// becomes non-empty, and cleared by the delivery worker owning this
-	// node once all its incoming queues drain. Delivery skips receivers
-	// whose flag is clear, so a round's scan costs O(n + traffic) instead
-	// of O(n + m).
-	rdirty atomic.Bool
+	// domIdx is this node's position in its runner's nodes slice; it
+	// indexes the runner's receiver-dirty array.
+	domIdx int32
+
+	// pending is a bitmap over this node's neighbor indexes: bit i set
+	// means neighbor nbr[i]'s queue toward this node is non-empty.
+	// Senders set bits (CAS — concurrent senders share words) when an
+	// edge queue activates; the delivery worker owning this receiver
+	// walks only the set bits instead of probing every inbound queue,
+	// and rewrites each word plainly (delivery runs with all senders
+	// parked at the barrier).
+	pending []atomic.Uint64
 
 	// waiting marks a node sleeping in NextDelivery; wakeCh is closed by
 	// the delivery side in the first round that hands it a message.
@@ -288,7 +295,17 @@ func (c *Ctx) SendQueued(to int, msg Message) {
 func (c *Ctx) noteQueued(i int) {
 	if c.outbox[i].size() == 0 {
 		c.r.dirty[c.shard].v.Add(1)
-		c.r.ctxs[c.nbr[i]].rdirty.Store(true)
+		rc := c.r.ctxs[c.nbr[i]]
+		c.r.rdirty[rc.domIdx].Store(true)
+		slot := c.srcSlot[i]
+		w := &rc.pending[slot>>6]
+		bit := uint64(1) << (slot & 63)
+		for {
+			old := w.Load()
+			if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+				return
+			}
+		}
 	}
 }
 
@@ -483,6 +500,14 @@ type runner struct {
 	// skipped, so protocol-free synchronization rounds (SpinUntil, pure
 	// barriers) cost O(shards) instead of O(m).
 	dirty []padCounter
+
+	// rdirty[idx] is set by senders when an incoming edge queue of node
+	// nodes[idx] becomes non-empty, and cleared by the delivery worker
+	// owning that receiver once all its incoming queues drain. Delivery
+	// skips receivers whose flag is clear; a flat array (instead of a
+	// flag on each Ctx) lets the per-round scan walk contiguous memory
+	// rather than chase one pointer per node.
+	rdirty []atomic.Bool
 
 	// skipAt groups the nodes sleeping in SkipUntil by their wake round.
 	// The leader readmits a group to the population when it advances into
@@ -794,34 +819,43 @@ func (r *runner) runShard(wid int) {
 func (r *runner) deliverRange(lo, hi, wid int) {
 	ws := &r.wstats[wid]
 	for idx := lo; idx < hi; idx++ {
-		c := r.ctxs[r.nodes[idx]]
-		if !c.rdirty.Load() {
+		if !r.rdirty[idx].Load() {
 			continue
 		}
+		c := r.ctxs[r.nodes[idx]]
 		backlog := false
 		delivered := false
 		buf := c.inboxes[c.cur]
-		for i, w := range c.nbr {
-			sc := r.ctxs[w]
-			slot := c.srcSlot[i]
-			q := &sc.outbox[slot]
-			if q.size() == 0 {
+		for wi := range c.pending {
+			word := c.pending[wi].Load()
+			if word == 0 {
 				continue
 			}
-			msg := q.pop()
-			if q.size() == 0 {
-				r.dirty[sc.shard].v.Add(-1)
-			} else {
-				backlog = true
+			keep := uint64(0)
+			for rest := word; rest != 0; rest &= rest - 1 {
+				bit := bits.TrailingZeros64(rest)
+				i := wi<<6 + bit
+				w := c.nbr[i]
+				sc := r.ctxs[w]
+				slot := c.srcSlot[i]
+				q := &sc.outbox[slot]
+				msg := q.pop()
+				if q.size() == 0 {
+					r.dirty[sc.shard].v.Add(-1)
+				} else {
+					keep |= uint64(1) << bit
+					backlog = true
+				}
+				sc.sentNow[slot] = false
+				buf = append(buf, Incoming{From: int(w), Payload: msg})
+				delivered = true
+				ws.Note(len(msg))
 			}
-			sc.sentNow[slot] = false
-			buf = append(buf, Incoming{From: int(w), Payload: msg})
-			delivered = true
-			ws.Note(len(msg))
+			c.pending[wi].Store(keep)
 		}
 		c.inboxes[c.cur] = buf
 		if !backlog {
-			c.rdirty.Store(false)
+			r.rdirty[idx].Store(false)
 		}
 		if delivered && c.waiting {
 			r.wokenByShard[wid] = append(r.wokenByShard[wid], c)
@@ -913,6 +947,7 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 			}
 			r.wstats = make([]WorkerStats, nshards)
 			r.dirty = make([]padCounter, nshards)
+			r.rdirty = make([]atomic.Bool, len(comp))
 			r.wokenByShard = make([][]*Ctx, nshards)
 			r.shardFns = make([]func(int), nshards)
 			for i := 0; i < nshards; i++ {
@@ -924,9 +959,11 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 				c := &Ctx{
 					r:       r,
 					id:      int(v),
+					domIdx:  int32(idx),
 					shard:   r.pool.ShardOf(idx),
 					nbr:     nbr,
 					srcSlot: make([]int32, len(nbr)),
+					pending: make([]atomic.Uint64, (len(nbr)+63)/64),
 					outbox:  make([]fifo, len(nbr)),
 					sentNow: make([]bool, len(nbr)),
 				}

@@ -15,6 +15,7 @@ type Coin struct {
 	forms []Form // MSB-first affine forms of h_S(x) mod 2^b
 	t     uint64 // threshold in [0, 2^b]
 	b     int
+	lo    bool // every form mask fits the low word (checked at build)
 }
 
 // NewCoin builds the coin for input color x with probability num/den and
@@ -39,7 +40,7 @@ func NewCoinFromForms(forms []Form, num, den uint64) (Coin, error) {
 	}
 	// T = ⌈num·2^b/den⌉ = |{k ∈ [2^b] : k/2^b < num/den}|.
 	t := (num<<b + den - 1) / den
-	return Coin{forms: forms, t: t, b: b}, nil
+	return Coin{forms: forms, t: t, b: b, lo: formsLo(forms)}, nil
 }
 
 // Threshold returns the integer threshold T.
@@ -61,6 +62,15 @@ func (c Coin) ProbOne(bs *Basis) float64 {
 // ProbBothOne returns Pr[C1 = 1 ∧ C2 = 1 | basis event] exactly.
 func ProbBothOne(bs *Basis, c1, c2 Coin) float64 {
 	return ProbBothLess(bs, c1.forms, c1.t, c2.forms, c2.t)
+}
+
+// ProbOneAndBothOne returns (Pr[C1 = 1], Pr[C1 = 1 ∧ C2 = 1]) under the
+// basis event, sharing one walk of C1's threshold decomposition — the
+// per-edge evaluation of the conditional-expectation loop needs both,
+// and the joint walk visits exactly the marginal's atoms anyway. Both
+// values are bit-identical to the separate queries.
+func ProbOneAndBothOne(bs *Basis, c1, c2 Coin) (p1, p11 float64) {
+	return ProbBothLessMarginal(bs, c1.forms, c1.t, c2.forms, c2.t)
 }
 
 // ProbBothZero returns Pr[C1 = 0 ∧ C2 = 0 | basis event] exactly via

@@ -1,6 +1,10 @@
 package gf2
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // Family is the k-wise independent hash family of Theorem 2.4 [Vad12]:
 //
@@ -55,21 +59,16 @@ func (fam *Family) K() int { return fam.k }
 // SeedBits returns the seed length d = k·m in bits.
 func (fam *Family) SeedBits() int { return fam.k * fam.f.m }
 
-// coefficient extracts A_j from the seed.
+// coefficient extracts A_j from the seed in two word shifts.
 func (fam *Family) coefficient(seed Vec128, j int) uint64 {
 	m := fam.f.m
-	start := j * m
-	var out uint64
-	for b := 0; b < m; b++ {
-		if seed.Bit(start + b) {
-			out |= 1 << b
-		}
-	}
-	return out
+	return seed.Extract(j*m, m)
 }
 
 // Eval evaluates h_S(x) directly (Horner's rule). Used for executing a
-// chosen seed and for cross-checking OutputForms in tests.
+// chosen seed and for cross-checking OutputForms in tests. The Horner
+// chain costs k−1 table-driven multiplies; the coefficients come out of
+// the seed as word extractions, not per-bit probes.
 func (fam *Family) Eval(seed Vec128, x uint64) uint64 {
 	acc := uint64(0)
 	for j := fam.k - 1; j >= 0; j-- {
@@ -82,34 +81,75 @@ func (fam *Family) Eval(seed Vec128, x uint64) uint64 {
 // OutputForms returns the affine forms of the low outBits bits of h_S(x),
 // most significant first: result[0] is bit outBits−1 of h_S(x), and
 // result[outBits−1] is bit 0. Requires 1 ≤ outBits ≤ m.
-//
-// Construction: h_S(x) = Σ_j A_j ⊗ c_j with constants c_j = x^j. Bit t of
-// A_j ⊗ c_j equals the parity over i of A_j[i]·(c_j·y^i mod g)[t], so the
-// mask of output bit t collects, for every coefficient j and every bit i,
-// whether (c_j · y^i mod g) has bit t set.
 func (fam *Family) OutputForms(x uint64, outBits int) []Form {
+	return fam.OutputFormsInto(x, outBits, nil)
+}
+
+// OutputFormsInto is OutputForms writing into dst (grown from dst[:0] and
+// returned), so hot callers that cache or pool their form slices add no
+// allocation per call.
+//
+// Construction: h_S(x) = Σ_j A_j ⊗ c_j with constants c_j = x^j, and the
+// x-power chain c_0, c_1, … is carried across coefficients (one multiply
+// per j, none for the k = 2 case of the paper: c_0 = 1 contributes the
+// identity map and c_1 = x is free). Bit t of A_j ⊗ c_j equals the
+// parity over i of A_j[i]·(c_j·y^i mod g)[t], so coefficient j's columns
+// col_i = c_j·y^i are walked by a MulByX chain and transposed into one
+// m-bit mask word per output bit, placed at seed-bit offset j·m.
+func (fam *Family) OutputFormsInto(x uint64, outBits int, dst []Form) []Form {
 	m := fam.f.m
 	if outBits < 1 || outBits > m {
 		panic(fmt.Sprintf("gf2: outBits=%d out of range [1,%d]", outBits, m))
 	}
-	forms := make([]Form, outBits)
-	cj := uint64(1) // x^0
-	for j := 0; j < fam.k; j++ {
-		// col = c_j · y^i mod g for i = 0..m−1; seed bit index j·m+i.
+	forms := growForms(dst, outBits)
+	// Coefficient 0: c_0 = 1, so col_i = y^i and bit t of col_i is set
+	// iff i == t — output bit t is exactly seed bit t.
+	for t := 0; t < outBits; t++ {
+		forms[outBits-1-t].Mask = forms[outBits-1-t].Mask.orAt(0, uint64(1)<<t)
+	}
+	cj := x
+	outMask := uint64(1)<<outBits - 1
+	var wt [64]uint64 // wt[t]: transposed mask word of output bit t
+	for j := 1; j < fam.k; j++ {
+		if j > 1 {
+			cj = fam.f.Mul(cj, x) // c_j = x^j; no multiplies for k ≤ 2
+		}
+		for t := 0; t < outBits; t++ {
+			wt[t] = 0
+		}
 		col := cj
 		for i := 0; i < m; i++ {
-			for t := 0; t < outBits; t++ {
-				if col&(1<<t) != 0 {
-					idx := outBits - 1 - t // MSB-first position of bit t
-					forms[idx].Mask = forms[idx].Mask.WithBit(j*m+i, true)
-				}
+			rem := col & outMask
+			for rem != 0 {
+				t := bits.TrailingZeros64(rem)
+				rem &= rem - 1
+				wt[t] |= uint64(1) << i
 			}
 			col = fam.f.MulByX(col)
 		}
-		cj = fam.f.Mul(cj, x)
+		for t := 0; t < outBits; t++ {
+			idx := outBits - 1 - t // MSB-first position of bit t
+			forms[idx].Mask = forms[idx].Mask.orAt(j*m, wt[t])
+		}
 	}
 	return forms
 }
+
+// growForms resizes dst to n zeroed Forms, reusing its backing storage
+// when the capacity suffices.
+func growForms(dst []Form, n int) []Form {
+	if cap(dst) < n {
+		return make([]Form, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = Form{}
+	}
+	return dst
+}
+
+// formScratch pools the full-width intermediate of WindowFormsInto.
+var formScratch = sync.Pool{New: func() any { return new([]Form) }}
 
 // WindowForms returns the affine forms of bits [lo, lo+width) of h_S(x),
 // most significant first (result[0] is bit lo+width−1). Windows let one
@@ -118,16 +158,25 @@ func (fam *Family) OutputForms(x uint64, outBits int) []Form {
 // uniform field element, disjoint bit windows are independent, and across
 // two nodes the full values are already independent.
 func (fam *Family) WindowForms(x uint64, lo, width int) []Form {
+	return fam.WindowFormsInto(x, lo, width, nil)
+}
+
+// WindowFormsInto is WindowForms writing into dst (grown from dst[:0] and
+// returned); the full-width intermediate comes from an internal pool.
+func (fam *Family) WindowFormsInto(x uint64, lo, width int, dst []Form) []Form {
 	m := fam.f.m
 	if lo < 0 || width < 1 || lo+width > m {
 		panic(fmt.Sprintf("gf2: window [%d,%d) out of range for m=%d", lo, lo+width, m))
 	}
-	full := fam.OutputForms(x, m) // full[i] is bit m−1−i
-	forms := make([]Form, width)
+	scratch := formScratch.Get().(*[]Form)
+	full := fam.OutputFormsInto(x, m, *scratch) // full[i] is bit m−1−i
+	forms := growForms(dst, width)
 	for i := 0; i < width; i++ {
 		// forms[i] must be bit lo+width−1−i.
 		forms[i] = full[m-1-(lo+width-1-i)]
 	}
+	*scratch = full
+	formScratch.Put(scratch)
 	return forms
 }
 

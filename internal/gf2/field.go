@@ -29,6 +29,14 @@ type Field struct {
 	m   int
 	g   uint64 // low-order bits of the reduction polynomial (without x^m)
 	max uint64 // 2^m − 1
+
+	// fold is the precomputed byte-wise reduction table: fold[i][b] is
+	// the fully reduced polynomial b·x^(m+8i) mod (x^m+g). A product of
+	// two reduced operands has degree ≤ 2m−2, so its excess part H
+	// (bits ≥ m) spans at most m−1 ≤ 63 bits; XOR-ing one table entry
+	// per byte of H reduces the product with no data-dependent branches,
+	// replacing the 128-step scan of reduceScan in the Mul hot path.
+	fold [8][256]uint64
 }
 
 var fieldCache = map[int]*Field{}
@@ -51,8 +59,26 @@ func NewField(m int) (*Field, error) {
 		return nil, err
 	}
 	f := &Field{m: m, g: g, max: (uint64(1) << m) - 1}
+	f.buildFoldTables()
 	fieldCache[m] = f
 	return f, nil
+}
+
+// buildFoldTables fills the byte-wise reduction tables: fold[i][b] =
+// b·x^(m+8i) mod (x^m+g). Entries are fully reduced (< 2^m), so folding
+// the excess bits of a product never creates new excess bits.
+func (f *Field) buildFoldTables() {
+	// pow = x^(m+t) mod g for t = 0, 1, 2, ...: a MulByX chain seeded
+	// with x^m mod g = g.
+	pow := f.g
+	for t := 0; t < 8*len(f.fold); t++ {
+		tab := &f.fold[t/8]
+		bit := uint64(1) << (t % 8)
+		for b := bit; b < 256; b = (b + 1) | bit {
+			tab[b] ^= pow
+		}
+		pow = f.MulByX(pow)
+	}
 }
 
 // MustField is NewField but panics on error (for in-range constant m).
@@ -77,8 +103,39 @@ func (f *Field) ReductionPoly() uint64 { return f.g }
 // Add returns a + b = a XOR b.
 func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
 
-// clmul returns the 128-bit carry-less product of a and b as (hi, lo).
+// clmul returns the 128-bit carry-less product of a and b as (hi, lo),
+// using a 4-bit window on b: a per-call table of the 16 carry-less
+// multiples a·{0..15} turns the data-dependent popcount(b)-step loop of
+// the bit-serial method into 16 branch-free window folds. clmulBitSerial
+// is kept as the independent differential reference.
 func clmul(a, b uint64) (hi, lo uint64) {
+	if a == 0 || b == 0 {
+		return 0, 0
+	}
+	// tab·[i] = carry-less a·i; entries reach degree 63+3, so each keeps
+	// a 3-bit high word.
+	var tabLo, tabHi [16]uint64
+	tabLo[1] = a
+	for i := 2; i < 16; i += 2 {
+		tabLo[i] = tabLo[i/2] << 1
+		tabHi[i] = tabHi[i/2]<<1 | tabLo[i/2]>>63
+		tabLo[i+1] = tabLo[i] ^ a
+		tabHi[i+1] = tabHi[i]
+	}
+	lo = tabLo[b&0xf]
+	hi = tabHi[b&0xf]
+	for s := 4; s < 64; s += 4 {
+		nib := (b >> s) & 0xf
+		lo ^= tabLo[nib] << s
+		hi ^= tabHi[nib]<<s | tabLo[nib]>>(64-s)
+	}
+	return hi, lo
+}
+
+// clmulBitSerial is the bit-serial carry-less multiply, kept as the
+// independent reference for the windowed clmul and for polyMulMod (so
+// the pre-Field code path shares nothing with the fast path it checks).
+func clmulBitSerial(a, b uint64) (hi, lo uint64) {
 	for b != 0 {
 		shift := bits.TrailingZeros64(b)
 		b &= b - 1
@@ -90,10 +147,28 @@ func clmul(a, b uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// reduce reduces the 128-bit polynomial (hi,lo) modulo x^m + g.
+// reduce reduces the product polynomial (hi,lo) of two *reduced*
+// operands (degree ≤ 2m−2) modulo x^m + g, folding the excess bits one
+// byte-table lookup at a time instead of scanning bit-by-bit.
 func (f *Field) reduce(hi, lo uint64) uint64 {
-	// Process bits from the top down to degree m.
-	for d := 127; d >= f.m; d-- {
+	// h = bits ≥ m of the product. Degree ≤ 2m−2 means h spans at most
+	// m−1 ≤ 63 bits, so it fits one word for every 1 ≤ m ≤ 63.
+	h := lo>>f.m | hi<<(64-f.m)
+	acc := lo & f.max
+	for i := 0; h != 0; i++ {
+		acc ^= f.fold[i][h&0xff]
+		h >>= 8
+	}
+	return acc
+}
+
+// reduceScan is the bit-by-bit scan reduction, kept as the reference for
+// the table-driven reduce. The scan starts at degree `top`: products of
+// reduced operands never exceed degree 2m−2, so Mul-shaped callers pass
+// 2m−2 rather than the historical always-127 start (the extra 131−2m
+// iterations tested bits that are provably zero).
+func (f *Field) reduceScan(hi, lo uint64, top int) uint64 {
+	for d := top; d >= f.m; d-- {
 		var set bool
 		if d >= 64 {
 			set = hi&(1<<(d-64)) != 0
@@ -163,10 +238,13 @@ func (f *Field) Inv(a uint64) (uint64, error) {
 // --- irreducibility search -------------------------------------------------
 
 // polyMulMod multiplies two polynomials of degree < m modulo the degree-m
-// polynomial x^m + g, all over GF(2). Identical to field Mul but usable
-// before a Field exists.
+// polynomial x^m + g, all over GF(2). Semantically identical to field
+// Mul but usable before a Field exists; it deliberately stays on the
+// bit-serial multiply and bit-by-bit scan reduction so it shares no code
+// with the windowed/table-driven fast path — FuzzGF2Mul uses it as the
+// differential reference.
 func polyMulMod(a, b, g uint64, m int) uint64 {
-	hi, lo := clmul(a, b)
+	hi, lo := clmulBitSerial(a, b)
 	for d := 127; d >= m; d-- {
 		var set bool
 		if d >= 64 {

@@ -15,6 +15,19 @@ func (v Vec128) Xor(w Vec128) Vec128 { return Vec128{v.Lo ^ w.Lo, v.Hi ^ w.Hi} }
 // And returns the bitwise AND of v and w.
 func (v Vec128) And(w Vec128) Vec128 { return Vec128{v.Lo & w.Lo, v.Hi & w.Hi} }
 
+// AndNot returns v with every bit of w cleared.
+func (v Vec128) AndNot(w Vec128) Vec128 { return Vec128{v.Lo &^ w.Lo, v.Hi &^ w.Hi} }
+
+// OnesCount returns the number of set bits.
+func (v Vec128) OnesCount() int {
+	return bits.OnesCount64(v.Lo) + bits.OnesCount64(v.Hi)
+}
+
+// IsUnit reports whether exactly one bit is set.
+func (v Vec128) IsUnit() bool {
+	return (v.Lo == 0) != (v.Hi == 0) && v.Lo&(v.Lo-1) == 0 && v.Hi&(v.Hi-1) == 0
+}
+
 // IsZero reports whether all bits are zero.
 func (v Vec128) IsZero() bool { return v.Lo == 0 && v.Hi == 0 }
 
@@ -70,6 +83,39 @@ func (v Vec128) LowestBit() int {
 
 // VecFromUint64 returns the vector whose low 64 bits are x.
 func VecFromUint64(x uint64) Vec128 { return Vec128{Lo: x} }
+
+// Extract returns bits [start, start+width) of v as an integer (bit
+// start becomes bit 0). Requires 0 ≤ start, width ≤ 64, start+width ≤ 128.
+// It replaces per-bit Bit() loops in the seed-coefficient hot path.
+func (v Vec128) Extract(start, width int) uint64 {
+	var out uint64
+	switch {
+	case start >= 64:
+		out = v.Hi >> (start - 64)
+	case start == 0:
+		out = v.Lo
+	default:
+		out = v.Lo>>start | v.Hi<<(64-start)
+	}
+	if width == 64 {
+		return out
+	}
+	return out & (uint64(1)<<width - 1)
+}
+
+// orAt returns v with the low `width` bits of w OR-ed in at bit offset
+// off. Requires off+width ≤ 128 and width ≤ 64.
+func (v Vec128) orAt(off int, w uint64) Vec128 {
+	if off < 64 {
+		v.Lo |= w << off
+		if off > 0 {
+			v.Hi |= w >> (64 - off)
+		}
+	} else {
+		v.Hi |= w << (off - 64)
+	}
+	return v
+}
 
 // Form is an affine form over the seed bits: Eval(seed) =
 // parity(Mask AND seed) XOR Const.
