@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"time"
 
+	sb "smallbandwidth"
 	"smallbandwidth/internal/enginebench"
 )
 
@@ -67,10 +68,14 @@ func measure(name string, n, m int, run func() (rounds int, messages, words int6
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
 		Mallocs:    after.Mallocs - before.Mallocs,
 	}
-	fmt.Printf("%-28s n=%-7d m=%-8d rounds=%-6d msgs=%-10d wall=%-12s alloc=%dMB mallocs=%d\n",
-		name, n, m, rounds, messages, wall.Round(time.Millisecond),
-		w.AllocBytes/(1<<20), w.Mallocs)
+	printWorkload(w)
 	return w
+}
+
+func printWorkload(w EngineWorkload) {
+	fmt.Printf("%-28s n=%-7d m=%-8d rounds=%-6d msgs=%-10d wall=%-12s alloc=%dMB mallocs=%d\n",
+		w.Name, w.N, w.M, w.Rounds, w.Messages, time.Duration(w.WallNS).Round(time.Millisecond),
+		w.AllocBytes/(1<<20), w.Mallocs)
 }
 
 func engineBench(quick bool) []EngineWorkload {
@@ -194,6 +199,83 @@ func decompBench(quick bool) []EngineWorkload {
 		d, err := enginebench.DecompBuild(g)
 		fail("build", err)
 		return d.ChargedRound, int64(len(d.Clusters)), int64(d.Beta)
+	}))
+	return out
+}
+
+// measureBuild is measure for graph construction: node and edge counts
+// are only known once the build ran, so the row (and its progress
+// line) is assembled from the built graph afterwards — rounds 0,
+// messages = M, words = Δ; the build has no protocol cost, so those
+// columns carry the graph's shape instead.
+func measureBuild(name string, build func() *sb.Graph) (EngineWorkload, *sb.Graph) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	g := build()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	w := EngineWorkload{
+		Name: name, N: g.N(), M: g.M(),
+		Messages: int64(g.M()), Words: int64(g.MaxDegree()),
+		WallNS:     wall.Nanoseconds(),
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:    after.Mallocs - before.Mallocs,
+	}
+	printWorkload(w)
+	return w, g
+}
+
+// scaleBench is the million-node scenario tier (BENCH_scale.json): CSR
+// construction of all three ScaleKinds topologies at n = 10⁶, one full
+// engine round on the power-law graph (the substrate smoke workload),
+// one Lemma 2.1 ColorCONGEST iteration on the bounded-degree kinds, and
+// the full Corollary 1.2 ColorDecomposed pipeline on the grid. The
+// ChungLu kind records construction + engine round only: its power-law
+// Δ ≈ n^(2/3) inflates the derandomization parameters (seed length and
+// phase count grow with log Δ · log C), which measures parameter blowup
+// rather than substrate scale — docs/PERF.md discusses the choice.
+func scaleBench(quick bool) []EngineWorkload {
+	n := 1000000
+	if quick {
+		n = 100000
+	}
+	fail := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale %s run failed: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	var out []EngineWorkload
+	graphs := map[string]*sb.Graph{}
+	for _, kind := range enginebench.ScaleKinds {
+		w, g := measureBuild(fmt.Sprintf("scale-build/%s%d", kind, n), func() *sb.Graph {
+			return enginebench.ScaleGraph(kind, n)
+		})
+		out = append(out, w)
+		graphs[kind] = g
+	}
+	out = append(out, measure(fmt.Sprintf("scale-round/chunglu%d", n),
+		graphs["chunglu"].N(), graphs["chunglu"].M(), func() (int, int64, int64) {
+			st, err := enginebench.ScaleRound(graphs["chunglu"])
+			fail("round", err)
+			return st.Rounds, st.Messages, st.Words
+		}))
+	graphs["chunglu"] = nil
+	for _, kind := range []string{"gnp4", "grid"} {
+		g := graphs[kind]
+		out = append(out, measure(fmt.Sprintf("scale-color/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+			res, err := enginebench.Color(g)
+			fail("color", err)
+			return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
+		}))
+	}
+	g := graphs["grid"]
+	out = append(out, measure(fmt.Sprintf("scale-decomp/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+		res, err := enginebench.DecompColor(g, true)
+		fail("decomp", err)
+		return res.ChargedRounds, res.Messages, res.Words
 	}))
 	return out
 }

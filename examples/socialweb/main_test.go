@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestExampleRuns drives the walkthrough end to end at a reduced scale
+// (the full 10⁶-user default is the interactive/demo setting; the
+// million-node substrate itself is pinned by TestMillionNodeSmoke at
+// the repository root). Errors inside run log.Fatal, aborting the test.
+func TestExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	run(30000)
+}

@@ -84,7 +84,15 @@ func (t *Tree) convMsg(n int) Message {
 func BuildBFSTree(ctx *Ctx, root int) *Tree {
 	t := &Tree{Root: root, Parent: -1, Depth: 0}
 	adopted := ctx.ID() == root
-	notified := make(map[int]uint64, ctx.Degree()) // neighbor -> parentID+1
+	// notified[i] is neighbor index i's announced parentID+1 (0 = the
+	// root's "no parent"), or noParentChoice while unheard-from: a flat
+	// slice over the neighbor indexes instead of a per-node map.
+	const noParentChoice = ^uint64(0)
+	notified := make([]uint64, ctx.Degree())
+	for i := range notified {
+		notified[i] = noParentChoice
+	}
+	heard := 0
 	reported := 0
 	childrenKnown := false
 	sentReport := false
@@ -121,7 +129,10 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 			switch in.Payload[0] {
 			case tagAdopt:
 				depth := int(in.Payload[1])
-				notified[in.From] = in.Payload[2]
+				if i := ctx.NeighborIndex(in.From); notified[i] == noParentChoice {
+					heard++
+					notified[i] = in.Payload[2]
+				}
 				if !adopted {
 					adopted = true
 					adoptedThisRound = true
@@ -149,10 +160,10 @@ func BuildBFSTree(ctx *Ctx, root int) *Tree {
 				panic(fmt.Sprintf("congest: unexpected tag %d during tree build", in.Payload[0]))
 			}
 		}
-		if adopted && !childrenKnown && len(notified) == ctx.Degree() {
+		if adopted && !childrenKnown && heard == ctx.Degree() {
 			childrenKnown = true
-			for _, w := range ctx.Neighbors() {
-				if notified[int(w)] == uint64(ctx.ID())+1 {
+			for i, w := range ctx.Neighbors() {
+				if notified[i] == uint64(ctx.ID())+1 {
 					t.Children = append(t.Children, int(w))
 				}
 			}

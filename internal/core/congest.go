@@ -320,6 +320,7 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 	m := newMetrics(opts.TrackPotentials, inst.G.N())
 	colors := make([]uint32, inst.G.N())
 	coloredFlag := make([]bool, inst.G.N())
+	ar := newRunArenas(inst)
 	var mu sync.Mutex
 
 	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds}
@@ -330,7 +331,7 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		}
 		ns := &nodeState{ctx: ctx, p: params[ctx.ID()], opts: opts, m: m,
 			root: int(roots[ctx.ID()]), rank: ranks[ctx.ID()], weight: w}
-		ns.init(inst)
+		ns.init(inst, ar)
 		ns.run()
 		mu.Lock()
 		colors[ctx.ID()] = ns.color
@@ -467,26 +468,105 @@ func (ns *nodeState) neighborForms(i int, psi uint64) []gf2.Form {
 	return ns.nbrForms[i]
 }
 
-func (ns *nodeState) init(inst *graph.Instance) {
-	deg := ns.ctx.Degree()
-	ns.list = append([]uint32(nil), inst.Lists[ns.ctx.ID()]...)
+// runArenas holds one run's per-edge node state in flat arrays indexed
+// by the graph's edge IDs: node v's share of every array is the range
+// [ArcBase(v), ArcBase(v)+Degree(v)) — eid(v,i) = ArcBase(v)+i — so a
+// run makes one allocation per kind of state instead of one per node,
+// and a node's conflict walks touch memory contiguous in its edge IDs.
+// Each node writes only its own carved range, so sharing the arrays
+// across the engine's node goroutines is race-free. The list/cands
+// arrays use their own offsets (per-node color lists are deg+1+slack
+// long, not deg).
+type runArenas struct {
+	off []int32 // edge-ID offsets: the graph's CSR offset table
+
+	aliveNbr []bool // by edge ID: neighbor still uncolored
+	conflict []bool // by edge ID: same prefix, both alive
+	hNbr     []bool // by edge ID: conflict-graph neighbor in V<4
+	formsOK  []bool // by edge ID: neighbor forms cache valid
+
+	nbrK1    []uint64 // by edge ID: neighbor's k1 this phase
+	nbrLen   []uint64 // by edge ID: neighbor's |L| this phase
+	nbrPsi   []uint64 // by edge ID: neighbor's ψ
+	formsPsi []uint64 // by edge ID: ψ the forms cache was built for
+
+	coins     []gf2.Coin   // by edge ID: neighbor coin scratch
+	forms     [][]gf2.Form // by edge ID: cached neighbor output forms
+	nbrColors []uint64     // cap-deg scratch per node (Linial rounds)
+	owned     []int32      // cap-deg per node: owned conflict edge list
+	msg       [2][]uint64  // 4 words per edge ID, two round-parity arenas
+
+	listOff []int32  // per-node offsets into lists/cands
+	lists   []uint32 // remaining allowed colors, carved per node
+	cands   []uint32 // candidate scratch, carved per node
+}
+
+// newRunArenas sizes the arenas by the instance's full arc space. That
+// trades the engine's per-domain laziness for one allocation per kind
+// of state: a multi-domain run holds Θ(instance) arena memory for its
+// whole duration instead of Θ(in-flight domains). The trade is
+// deliberate — the batched Corollary 1.2 pipeline hands this function
+// one color class's induced subgraph at a time (never the whole input
+// graph), so the bound stays proportional to a class, and within a
+// class the arenas replace tens of per-node allocations per node.
+func newRunArenas(inst *graph.Instance) *runArenas {
+	g := inst.G
+	arcs := g.NumArcs()
+	// The edge-ID offsets are the graph's own CSR offset table; the
+	// arenas never mutate it, so it is shared rather than copied.
+	off, _ := g.CSR()
+	ar := &runArenas{
+		off:       off,
+		aliveNbr:  make([]bool, arcs),
+		conflict:  make([]bool, arcs),
+		hNbr:      make([]bool, arcs),
+		formsOK:   make([]bool, arcs),
+		nbrK1:     make([]uint64, arcs),
+		nbrLen:    make([]uint64, arcs),
+		nbrPsi:    make([]uint64, arcs),
+		formsPsi:  make([]uint64, arcs),
+		coins:     make([]gf2.Coin, arcs),
+		forms:     make([][]gf2.Form, arcs),
+		nbrColors: make([]uint64, arcs),
+		owned:     make([]int32, arcs),
+		listOff:   make([]int32, g.N()+1),
+		msg:       [2][]uint64{make([]uint64, 4*arcs), make([]uint64, 4*arcs)},
+	}
+	for v := 0; v < g.N(); v++ {
+		ar.listOff[v+1] = ar.listOff[v] + int32(len(inst.Lists[v]))
+	}
+	ar.lists = make([]uint32, ar.listOff[g.N()])
+	ar.cands = make([]uint32, ar.listOff[g.N()])
+	return ar
+}
+
+func (ns *nodeState) init(inst *graph.Instance, ar *runArenas) {
+	v := ns.ctx.ID()
+	// Widen before any arithmetic: 4*lo in the msg-arena carve would
+	// wrap int32 from 2^29 arcs on, far inside the layout's 2^31-1 cap.
+	lo, hi := int(ar.off[v]), int(ar.off[v+1])
 	ns.alive = true
-	ns.aliveNbr = make([]bool, deg)
+	ns.aliveNbr = ar.aliveNbr[lo:hi:hi]
 	for i := range ns.aliveNbr {
 		ns.aliveNbr[i] = true
 	}
-	ns.conflict = make([]bool, deg)
-	ns.nbrK1 = make([]uint64, deg)
-	ns.nbrLen = make([]uint64, deg)
-	ns.nbrPsi = make([]uint64, deg)
-	ns.nbrCoins = make([]gf2.Coin, deg)
-	ns.hNbr = make([]bool, deg)
-	ns.nbrColors = make([]uint64, 0, deg)
-	ns.nbrForms = make([][]gf2.Form, deg)
-	ns.nbrFormsPsi = make([]uint64, deg)
-	ns.nbrFormsOK = make([]bool, deg)
-	ns.msgArena[0] = make([]uint64, 4*deg)
-	ns.msgArena[1] = make([]uint64, 4*deg)
+	ns.conflict = ar.conflict[lo:hi:hi]
+	ns.nbrK1 = ar.nbrK1[lo:hi:hi]
+	ns.nbrLen = ar.nbrLen[lo:hi:hi]
+	ns.nbrPsi = ar.nbrPsi[lo:hi:hi]
+	ns.nbrCoins = ar.coins[lo:hi:hi]
+	ns.hNbr = ar.hNbr[lo:hi:hi]
+	ns.nbrColors = ar.nbrColors[lo:lo:hi]
+	ns.nbrForms = ar.forms[lo:hi:hi]
+	ns.nbrFormsPsi = ar.formsPsi[lo:hi:hi]
+	ns.nbrFormsOK = ar.formsOK[lo:hi:hi]
+	ns.ownedIdx = ar.owned[lo:lo:hi]
+	ns.msgArena[0] = ar.msg[0][4*lo : 4*hi : 4*hi]
+	ns.msgArena[1] = ar.msg[1][4*lo : 4*hi : 4*hi]
+	llo, lhi := int(ar.listOff[v]), int(ar.listOff[v+1])
+	ns.list = ar.lists[llo:lhi:lhi]
+	copy(ns.list, inst.Lists[v])
+	ns.cands = ar.cands[llo:llo:lhi]
 }
 
 func (ns *nodeState) run() {

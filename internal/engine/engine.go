@@ -79,33 +79,58 @@ type Topology interface {
 	Neighbors(v int) []int32
 }
 
+// ArcTopology is the optional flat-layout extension of Topology: a
+// topology stored in compressed-sparse-row form exposes its offset
+// table and arc arena so the engine's setup reads degrees straight off
+// the offset table and slices neighbor rows out of the arena, instead
+// of materializing each row through the interface. *graph.Graph and
+// AllToAll both satisfy it; topologies that don't are handled through
+// the plain Neighbors path at identical behavior.
+type ArcTopology interface {
+	Topology
+	// CSR returns the offset table (len N()+1) and arc arena: endpoint
+	// v's peers are nbr[off[v]:off[v+1]], sorted ascending. The engine
+	// retains both slices; they must not change during a run.
+	CSR() (off, nbr []int32)
+}
+
 // AllToAll is the complete topology on n endpoints: every endpoint is a
-// peer of every other, as in the CONGESTED CLIQUE. It materializes n
-// rows of n−1 peers (Θ(n²) memory), which is inherent to running
+// peer of every other, as in the CONGESTED CLIQUE. It materializes the
+// n·(n−1) arcs in one flat CSR arena, which is inherent to running
 // per-node programs on a clique; the data-parallel clique simulator
 // avoids it by exchanging through Scatter instead.
-type AllToAll struct{ rows [][]int32 }
+type AllToAll struct {
+	n   int
+	off []int32
+	nbr []int32
+}
 
 // NewAllToAll builds the complete topology on n endpoints.
 func NewAllToAll(n int) *AllToAll {
-	rows := make([][]int32, n)
-	for v := range rows {
-		row := make([]int32, 0, n-1)
+	if n > 0 && n*(n-1) > (1<<31)-1 {
+		panic(fmt.Sprintf("engine: AllToAll(%d) exceeds the int32 arc space", n))
+	}
+	off := make([]int32, n+1)
+	nbr := make([]int32, 0, n*(n-1))
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(n-1)
 		for u := 0; u < n; u++ {
 			if u != v {
-				row = append(row, int32(u))
+				nbr = append(nbr, int32(u))
 			}
 		}
-		rows[v] = row
 	}
-	return &AllToAll{rows: rows}
+	return &AllToAll{n: n, off: off, nbr: nbr}
 }
 
 // N returns the endpoint count.
-func (a *AllToAll) N() int { return len(a.rows) }
+func (a *AllToAll) N() int { return a.n }
 
 // Neighbors returns the peers of v (all other endpoints), sorted.
-func (a *AllToAll) Neighbors(v int) []int32 { return a.rows[v] }
+func (a *AllToAll) Neighbors(v int) []int32 { return a.nbr[a.off[v]:a.off[v+1]] }
+
+// CSR returns the flat all-to-all layout.
+func (a *AllToAll) CSR() (off, nbr []int32) { return a.off, a.nbr }
 
 // Config controls a Run.
 type Config struct {
@@ -891,6 +916,18 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 	if n == 0 {
 		return &Stats{}, nil, nil
 	}
+	// CSR fast path: a flat topology hands over its offset table and arc
+	// arena once; degree sums read the offset table directly and the
+	// neighbor lookups slice the arena without going back through the
+	// interface. Other topologies go through Neighbors at identical
+	// behavior.
+	neighborsOf := top.Neighbors
+	degreeOf := func(v int) int32 { return int32(len(top.Neighbors(v))) }
+	if at, ok := top.(ArcTopology); ok {
+		csrOff, csrNbr := at.CSR()
+		neighborsOf = func(v int) []int32 { return csrNbr[csrOff[v]:csrOff[v+1]] }
+		degreeOf = func(v int) int32 { return csrOff[v+1] - csrOff[v] }
+	}
 	sh := &shared{}
 	ctxs := make([]*Ctx, n)
 
@@ -909,7 +946,7 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 	// A domain's contexts and pool materialize when it is scheduled and
 	// are released when it completes, keeping the live footprint at the
 	// in-flight domains rather than the whole run.
-	comps := topologyComponents(top)
+	comps := components(n, neighborsOf)
 	runners := make([]*runner, len(comps))
 	undelivered := make([]int, len(comps))
 	slots := runtime.GOMAXPROCS(0)
@@ -954,27 +991,59 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 				wid := i
 				r.shardFns[i] = func(int) { r.runShard(wid) }
 			}
+			// Per-edge state is carved out of per-domain arenas indexed by
+			// the domain-local edge ID (the prefix-sum position of arc
+			// (v, i) over the domain's endpoints): one allocation per kind
+			// of state instead of one per node, contiguous in delivery
+			// order. The pending bitmaps get their own word offsets — each
+			// endpoint needs exclusively owned words for the senders' CAS.
+			domOff := make([]int32, len(comp)+1)
+			pwOff := make([]int32, len(comp)+1)
 			for idx, v := range comp {
-				nbr := top.Neighbors(int(v))
-				c := &Ctx{
-					r:       r,
-					id:      int(v),
-					domIdx:  int32(idx),
-					shard:   r.pool.ShardOf(idx),
-					nbr:     nbr,
-					srcSlot: make([]int32, len(nbr)),
-					pending: make([]atomic.Uint64, (len(nbr)+63)/64),
-					outbox:  make([]fifo, len(nbr)),
-					sentNow: make([]bool, len(nbr)),
-				}
-				c.inboxes[0] = make([]Incoming, 0, len(nbr))
-				c.inboxes[1] = make([]Incoming, 0, len(nbr))
+				deg := degreeOf(int(v))
+				domOff[idx+1] = domOff[idx] + deg
+				pwOff[idx+1] = pwOff[idx] + (deg+63)/64
+			}
+			arcs := int(domOff[len(comp)])
+			ctxArena := make([]Ctx, len(comp))
+			srcSlotArena := make([]int32, arcs)
+			outboxArena := make([]fifo, arcs)
+			sentNowArena := make([]bool, arcs)
+			pendingArena := make([]atomic.Uint64, pwOff[len(comp)])
+			inboxArena := make([]Incoming, 2*arcs)
+			for idx, v := range comp {
+				// Widen before the inbox-carve arithmetic: 2*lo would wrap
+				// int32 from 2^30 domain arcs on.
+				lo, hi := int(domOff[idx]), int(domOff[idx+1])
+				c := &ctxArena[idx]
+				c.r = r
+				c.id = int(v)
+				c.domIdx = int32(idx)
+				c.shard = r.pool.ShardOf(idx)
+				c.nbr = neighborsOf(int(v))
+				c.srcSlot = srcSlotArena[lo:hi:hi]
+				c.outbox = outboxArena[lo:hi:hi]
+				c.sentNow = sentNowArena[lo:hi:hi]
+				c.pending = pendingArena[pwOff[idx]:pwOff[idx+1]:pwOff[idx+1]]
+				// The two inbox halves start with capacity deg each; a
+				// SkipUntil that accumulates more re-slices off-arena via
+				// append, which is safe (the carve caps at the region end).
+				c.inboxes[0] = inboxArena[2*lo : 2*lo : lo+hi]
+				c.inboxes[1] = inboxArena[lo+hi : lo+hi : 2*hi]
 				ctxs[v] = c
 			}
+			// srcSlot[i] is this node's index in peer nbr[i]'s sorted
+			// adjacency. Sweeping the domain's endpoints in ascending order
+			// visits each peer's inbound arcs in exactly its adjacency
+			// order, so a per-endpoint cursor yields every slot in one
+			// O(arcs) pass — no per-arc binary search.
+			cursor := make([]int32, len(comp))
 			for _, v := range comp {
 				c := ctxs[v]
 				for i, w := range c.nbr {
-					c.srcSlot[i] = int32(ctxs[w].NeighborIndex(int(v)))
+					rd := ctxs[w].domIdx
+					c.srcSlot[i] = cursor[rd]
+					cursor[rd]++
 				}
 			}
 
@@ -1035,10 +1104,9 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 	return &st, perDomain, sh.err
 }
 
-// topologyComponents returns the connected components of the topology,
-// each ascending, ordered by smallest member.
-func topologyComponents(top Topology) [][]int32 {
-	n := top.N()
+// components returns the connected components over the given adjacency
+// accessor, each ascending, ordered by smallest member.
+func components(n int, neighborsOf func(int) []int32) [][]int32 {
 	seen := make([]bool, n)
 	var comps [][]int32
 	for s := 0; s < n; s++ {
@@ -1048,7 +1116,7 @@ func topologyComponents(top Topology) [][]int32 {
 		seen[s] = true
 		members := []int32{int32(s)}
 		for qi := 0; qi < len(members); qi++ {
-			for _, w := range top.Neighbors(int(members[qi])) {
+			for _, w := range neighborsOf(int(members[qi])) {
 				if !seen[w] {
 					seen[w] = true
 					members = append(members, w)

@@ -129,6 +129,51 @@ func Flood(g *graph.Graph) (*congest.Stats, error) {
 	})
 }
 
+// ScaleKinds are the million-node scenario-tier topologies, in
+// recording order (BENCH_scale.json): a power-law social-web shape, a
+// sparse uniform random graph, and the high-diameter grid.
+var ScaleKinds = []string{"chunglu", "gnp4", "grid"}
+
+// ScaleGraph builds a scenario-tier topology of ~n nodes
+// (deterministic, seed 1). The mean degrees are kept small (≈4) so the
+// tier exercises *scale* — node and edge counts — rather than dense
+// local work:
+//
+//   - chunglu: Chung–Lu with power-law (β = 2.5) expected degrees — the
+//     heavy-tailed social-web shape (Δ grows like n^(2/3));
+//   - gnp4:    G(n, 4/n) — sparse uniform, Θ(log n) diameter;
+//   - grid:    near-square 2D grid — the Θ(√n)-diameter stress shape.
+func ScaleGraph(kind string, n int) *graph.Graph {
+	switch kind {
+	case "chunglu":
+		return graph.ChungLu(graph.PowerLawWeights(n, 2.5, 4), 1)
+	case "gnp4":
+		return graph.GNP(n, 4/float64(n), 1)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return graph.Grid2D(side, side)
+	}
+	panic(fmt.Sprintf("enginebench: unknown scale graph kind %q", kind))
+}
+
+// ScaleRound runs one full-neighborhood engine round on g: every node
+// sends one message over every incident edge and reads its inbox — 2m
+// messages through the complete delivery path (arena setup, barrier,
+// receiver-sharded delivery) in a single round. This is the
+// million-node smoke workload: it proves the substrate (graph + engine
+// tables) stands up at n = 10⁶ without paying for a full protocol.
+func ScaleRound(g *graph.Graph) (*congest.Stats, error) {
+	return congest.Run(g, congest.Config{}, func(ctx *congest.Ctx) {
+		for _, w := range ctx.Neighbors() {
+			ctx.Send(int(w), congest.Message{congest.UserTagBase, uint64(ctx.ID())})
+		}
+		ctx.Next()
+	})
+}
+
 // CliqueFloodRounds fixes the clique flood workload's length.
 const CliqueFloodRounds = 4
 

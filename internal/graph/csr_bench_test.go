@@ -1,0 +1,56 @@
+package graph
+
+// Construction benchmarks for the CSR substrate: the counting-sort
+// builder against the retained per-node-slice reference builder on the
+// same million-node edge list. Run with
+//
+//	go test -run '^$' -bench BenchmarkBuild -benchtime 1x -benchmem ./internal/graph
+//
+// The allocation column is the point: the reference builder makes one
+// slice per node plus per-row sorts; the CSR builder makes a handful of
+// arenas regardless of n (docs/PERF.md records the measured numbers).
+
+import "testing"
+
+// benchEdgeList materializes the edge list of the million-node scale
+// topology once per benchmark process.
+var benchEdges [][2]int
+
+func scaleEdgeList(b *testing.B) (int, [][2]int) {
+	const n = 1_000_000
+	if benchEdges == nil {
+		g := ChungLu(PowerLawWeights(n, 2.5, 4), 1)
+		benchEdges = make([][2]int, 0, g.M())
+		g.Edges(func(u, v int) { benchEdges = append(benchEdges, [2]int{u, v}) })
+	}
+	return n, benchEdges
+}
+
+func BenchmarkBuildCSR1e6(b *testing.B) {
+	n, edges := scaleEdgeList(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		bld.Grow(len(edges))
+		for _, e := range edges {
+			bld.add(e[0], e[1])
+		}
+		g := bld.Build()
+		if g.M() != len(edges) {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkBuildReference1e6(b *testing.B) {
+	n, edges := scaleEdgeList(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := buildReference(n, edges)
+		if ref.m != len(edges) {
+			b.Fatal("bad build")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"testing"
 )
 
@@ -44,12 +45,12 @@ func FuzzBuilder(f *testing.F) {
 	f.Fuzz(func(t *testing.T, n uint8, edges []byte) {
 		nn := int(n % 65)
 		b := NewBuilder(nn)
-		added := 0
+		var accepted [][2]int
 		for i := 0; i+1 < len(edges) && i < 256; i += 2 {
 			u, v := int(edges[i]), int(edges[i+1])
 			err := b.AddEdge(u, v)
 			if err == nil {
-				added++
+				accepted = append(accepted, [2]int{u, v})
 			} else if u < nn && v < nn && u != v && !dupeErr(err) {
 				// The only legitimate error for in-range distinct endpoints
 				// is a duplicate.
@@ -60,10 +61,15 @@ func FuzzBuilder(f *testing.F) {
 		if g.N() != nn {
 			t.Fatalf("built %d nodes, want %d", g.N(), nn)
 		}
-		if g.M() != added {
-			t.Fatalf("built %d edges, accepted %d", g.M(), added)
+		if g.M() != len(accepted) {
+			t.Fatalf("built %d edges, accepted %d", g.M(), len(accepted))
 		}
 		checkInvariants(t, g)
+		// CSR differential: the counting-sort build must match the
+		// retained per-node-slice reference builder bit for bit on the
+		// same accepted edge list (adjacency, degrees, Δ, HasEdge,
+		// edge-ID enumeration).
+		checkAgainstReference(t, g, buildReference(nn, accepted))
 	})
 }
 
@@ -110,5 +116,18 @@ func FuzzGNP(f *testing.F) {
 				}
 			}
 		}
+		// CSR round-trip: rebuilding from the graph's own edge
+		// enumeration must reproduce the identical flat arrays (the
+		// canonical form is insertion-order independent), and the
+		// reference builder must agree with both.
+		rt := NewBuilder(nn)
+		g.Edges(func(u, v int) { rt.add(u, v) })
+		g3 := rt.Build()
+		off1, nbr1 := g.CSR()
+		off3, nbr3 := g3.CSR()
+		if !slices.Equal(off1, off3) || !slices.Equal(nbr1, nbr3) {
+			t.Fatal("CSR round-trip through Edges changed the flat arrays")
+		}
+		checkAgainstReference(t, g, buildReference(nn, edgesOf(g)))
 	})
 }

@@ -1,17 +1,28 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"smallbandwidth/internal/prng"
 )
+
+// The deterministic generators below feed edges through the Builder's
+// unchecked add: their edge streams are duplicate-free by construction
+// (each unordered pair is emitted at most once), so they skip the
+// hash-set membership test and the build stays two counting-sort passes
+// over flat arrays — no per-node allocation at any size. Generators that
+// genuinely need membership queries (Circulant, Caveman's ring closure,
+// RandomRegular's repair loop) use the checked path; the Builder keeps
+// its duplicate set consistent across mixed checked/unchecked use.
 
 // Path returns the path graph P_n (diameter n-1).
 func Path(n int) *Graph {
 	b := NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		b.MustAddEdge(i, i+1)
+		b.add(i, i+1)
 	}
 	return b.Build()
 }
@@ -23,7 +34,7 @@ func Cycle(n int) *Graph {
 	}
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
-		b.MustAddEdge(i, (i+1)%n)
+		b.add(i, (i+1)%n)
 	}
 	return b.Build()
 }
@@ -31,9 +42,10 @@ func Cycle(n int) *Graph {
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
 	b := NewBuilder(n)
+	b.Grow(n * (n - 1) / 2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			b.MustAddEdge(u, v)
+			b.add(u, v)
 		}
 	}
 	return b.Build()
@@ -43,7 +55,7 @@ func Complete(n int) *Graph {
 func Star(n int) *Graph {
 	b := NewBuilder(n)
 	for v := 1; v < n; v++ {
-		b.MustAddEdge(0, v)
+		b.add(0, v)
 	}
 	return b.Build()
 }
@@ -52,9 +64,10 @@ func Star(n int) *Graph {
 // a..a+b-1 on the other.
 func CompleteBipartite(a, b int) *Graph {
 	bld := NewBuilder(a + b)
+	bld.Grow(a * b)
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
-			bld.MustAddEdge(u, v)
+			bld.add(u, v)
 		}
 	}
 	return bld.Build()
@@ -66,10 +79,10 @@ func BinaryTree(n int) *Graph {
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
 		if l := 2*i + 1; l < n {
-			b.MustAddEdge(i, l)
+			b.add(i, l)
 		}
 		if r := 2*i + 2; r < n {
-			b.MustAddEdge(i, r)
+			b.add(i, r)
 		}
 	}
 	return b.Build()
@@ -78,14 +91,15 @@ func BinaryTree(n int) *Graph {
 // Grid2D returns the rows×cols grid graph.
 func Grid2D(rows, cols int) *Graph {
 	b := NewBuilder(rows * cols)
+	b.Grow(2 * rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				b.MustAddEdge(id(r, c), id(r, c+1))
+				b.add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				b.MustAddEdge(id(r, c), id(r+1, c))
+				b.add(id(r, c), id(r+1, c))
 			}
 		}
 	}
@@ -99,11 +113,12 @@ func Torus2D(rows, cols int) *Graph {
 		panic("graph: Torus2D requires rows, cols >= 3")
 	}
 	b := NewBuilder(rows * cols)
+	b.Grow(2 * rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			b.MustAddEdge(id(r, c), id(r, (c+1)%cols))
-			b.MustAddEdge(id(r, c), id((r+1)%rows, c))
+			b.add(id(r, c), id(r, (c+1)%cols))
+			b.add(id(r, c), id((r+1)%rows, c))
 		}
 	}
 	return b.Build()
@@ -116,11 +131,12 @@ func Hypercube(dim int) *Graph {
 	}
 	n := 1 << dim
 	b := NewBuilder(n)
+	b.Grow(n * dim / 2)
 	for v := 0; v < n; v++ {
 		for bit := 0; bit < dim; bit++ {
 			w := v ^ (1 << bit)
 			if w > v {
-				b.MustAddEdge(v, w)
+				b.add(v, w)
 			}
 		}
 	}
@@ -154,21 +170,21 @@ func Barbell(k, pathLen int) *Graph {
 	b := NewBuilder(n)
 	for u := 0; u < k; u++ {
 		for v := u + 1; v < k; v++ {
-			b.MustAddEdge(u, v)
+			b.add(u, v)
 		}
 	}
 	for u := k; u < 2*k; u++ {
 		for v := u + 1; v < 2*k; v++ {
-			b.MustAddEdge(u, v)
+			b.add(u, v)
 		}
 	}
 	// Path through nodes 2k .. 2k+pathLen-1 connecting node 0 and node k.
 	prev := 0
 	for i := 0; i < pathLen; i++ {
-		b.MustAddEdge(prev, 2*k+i)
+		b.add(prev, 2*k+i)
 		prev = 2*k + i
 	}
-	b.MustAddEdge(prev, k)
+	b.add(prev, k)
 	return b.Build()
 }
 
@@ -184,7 +200,7 @@ func Caveman(clusters, k int) *Graph {
 		base := c * k
 		for u := 0; u < k; u++ {
 			for v := u + 1; v < k; v++ {
-				b.MustAddEdge(base+u, base+v)
+				b.add(base+u, base+v)
 			}
 		}
 	}
@@ -200,7 +216,7 @@ func Caveman(clusters, k int) *Graph {
 
 // GNP returns an Erdős–Rényi G(n,p) graph drawn deterministically from
 // seed. Sampling uses geometric edge-skipping [Batagelj–Brandes 2005],
-// so the cost is O(n + m) rather than O(n²), which makes 10⁵+-node
+// so the cost is O(n + m) rather than O(n²), which makes 10⁶+-node
 // sparse graphs practical benchmark inputs.
 func GNP(n int, p float64, seed uint64) *Graph {
 	b := NewBuilder(n)
@@ -214,7 +230,7 @@ func GNP(n int, p float64, seed uint64) *Graph {
 	lq := math.Log1p(-p) // log(1-p) < 0
 	// Enumerate pairs (v, w) with w < v in row-major order, jumping ahead
 	// by a geometric number of non-edges each step. w advances in int64:
-	// a single skip can reach n² ≈ 10¹⁰ for n = 10⁵, which overflows int
+	// a single skip can reach n² ≈ 10¹² for n = 10⁶, which overflows int
 	// on 32-bit platforms; the reduction loop brings it below n before
 	// it is used as a node ID.
 	v, w := 1, int64(-1)
@@ -229,7 +245,7 @@ func GNP(n int, p float64, seed uint64) *Graph {
 			v++
 		}
 		if v < n {
-			b.MustAddEdge(v, int(w))
+			b.add(v, int(w))
 		}
 	}
 	return b.Build()
@@ -354,7 +370,7 @@ func RandomGeometric(n int, radius float64, seed uint64) *Graph {
 		for v := u + 1; v < n; v++ {
 			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
 			if dx*dx+dy*dy <= r2 {
-				b.MustAddEdge(u, v)
+				b.add(u, v)
 			}
 		}
 	}
@@ -363,23 +379,64 @@ func RandomGeometric(n int, radius float64, seed uint64) *Graph {
 
 // ChungLu returns a Chung–Lu random graph with the given expected-degree
 // weights: edge {u,v} appears with probability min(1, w_u·w_v / Σw).
+// Sampling uses the Miller–Hagberg weight-ordered geometric-skipping
+// scheme [MH11]: nodes are visited in non-increasing weight order, and
+// within a row the sampler jumps over rejected partners geometrically
+// under an upper-bound probability that only decreases along the row, so
+// the cost is O(n log n + m) rather than the Θ(n²) of pair-by-pair
+// sampling — the construction path of the million-node scenario tier.
 func ChungLu(weights []float64, seed uint64) *Graph {
 	n := len(weights)
+	b := NewBuilder(n)
 	total := 0.0
 	for _, w := range weights {
 		total += w
 	}
+	if n < 2 || total <= 0 {
+		return b.Build()
+	}
+	// Visit nodes in non-increasing weight order (ties by ID, so the
+	// graph is deterministic in (weights, seed)).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortStableFunc(order, func(a, c int32) int {
+		return cmp.Compare(weights[c], weights[a])
+	})
 	src := prng.New(seed)
-	b := NewBuilder(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			p := weights[u] * weights[v] / total
-			if p > 1 {
-				p = 1
+	for i := 0; i < n-1; i++ {
+		u := order[i]
+		wu := weights[u]
+		if wu <= 0 {
+			break // all remaining weights are 0: no further edges possible
+		}
+		j := i + 1
+		// p bounds every remaining pair probability in this row: weights
+		// are non-increasing along order, so p only shrinks as j advances.
+		p := math.Min(wu*weights[order[j]]/total, 1)
+		for j < n && p > 0 {
+			if p < 1 {
+				r := src.Float64()
+				if r <= 0 {
+					break // log(0): infinite skip, row exhausted
+				}
+				// Log1p keeps the denominator finite for p below one ulp
+				// of 1.0 (log(1-p) would round to log(1) = 0 and the skip
+				// to -Inf); a tiny p then yields a huge positive skip and
+				// the row breaks cleanly, as the distribution demands.
+				skip := math.Floor(math.Log(r) / math.Log1p(-p))
+				if skip >= float64(n-j) {
+					break
+				}
+				j += int(skip)
 			}
-			if src.Float64() < p {
-				b.MustAddEdge(u, v)
+			q := math.Min(wu*weights[order[j]]/total, 1)
+			if src.Float64() < q/p {
+				b.add(int(u), int(order[j]))
 			}
+			p = q
+			j++
 		}
 	}
 	return b.Build()

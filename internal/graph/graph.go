@@ -7,22 +7,40 @@
 // construction through a Builder; all algorithm packages treat *Graph as
 // read-only, which makes it safe to share one instance across the
 // goroutine-per-node CONGEST simulator without locking.
+//
+// # Memory layout
+//
+// A Graph is stored in compressed-sparse-row (CSR) form: one flat arc
+// arena nbr holding every directed arc's target, and an offset table off
+// with node v's sorted adjacency at nbr[off[v]:off[v+1]]. Neighbors(v)
+// returns that subslice directly, so algorithm code is layout-agnostic,
+// while bulk traversals (BFS, the engine's delivery tables, netdecomp's
+// frontiers) walk two contiguous int32 arrays instead of chasing one
+// pointer per node. The layout also defines the per-graph *edge IDs*
+// used across the stack: arc i of node v has
+//
+//	eid(v, i) = off[v] + i
+//
+// — a stable dense index over all NumArcs() = 2·M() directed arcs, which
+// lets consumers carve per-edge state (delivery slots, conflict flags,
+// message buffers) out of single arenas instead of per-node slices.
+// Offsets are int32, capping a graph at 2^31−1 arcs (~10^9 edges).
 package graph
 
 import (
 	"fmt"
 	"slices"
-	"sort"
 )
 
-// Graph is an undirected simple graph with nodes 0..N-1.
-//
-// Adj[v] is the sorted adjacency list of v. Graphs are constructed via
-// Builder (or a generator) and must not be mutated afterwards.
+// Graph is an undirected simple graph with nodes 0..N-1 in CSR layout
+// (see the package comment). Graphs are constructed via Builder (or a
+// generator) and must not be mutated afterwards.
 type Graph struct {
-	n   int
-	adj [][]int32
-	m   int // number of undirected edges
+	n      int
+	m      int     // number of undirected edges
+	maxDeg int     // maximum degree, fixed at construction
+	off    []int32 // len n+1; node v's arcs are nbr[off[v]:off[v+1]]
+	nbr    []int32 // len 2m; arc targets, sorted ascending per node
 }
 
 // N returns the number of nodes.
@@ -31,35 +49,42 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
-// Neighbors returns the sorted adjacency list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// NumArcs returns the number of directed arcs, 2·M(): the size of the
+// edge-ID space eid(v,i) = ArcBase(v)+i.
+func (g *Graph) NumArcs() int { return len(g.nbr) }
+
+// ArcBase returns the edge ID of arc (v, 0), i.e. off[v]: neighbor index
+// i of node v has edge ID ArcBase(v)+i.
+func (g *Graph) ArcBase(v int) int32 { return g.off[v] }
+
+// CSR exposes the raw layout — the offset table (len N+1) and the arc
+// arena (len NumArcs) — for bulk traversals that want to walk the flat
+// arrays directly. Both slices are owned by the graph and must not be
+// modified.
+func (g *Graph) CSR() (off, nbr []int32) { return g.off, g.nbr }
+
+// Neighbors returns the sorted adjacency list of v: a subslice of the
+// arc arena, owned by the graph — it must not be modified. Entry i is
+// the target of edge ID ArcBase(v)+i.
+func (g *Graph) Neighbors(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
-// MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// MaxDegree returns the maximum degree Δ of the graph (0 for empty
+// graphs). Δ is computed once at construction; calls are O(1).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // HasEdge reports whether {u,v} is an edge, via binary search.
 func (g *Graph) HasEdge(u, v int) bool {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-	return i < len(a) && a[i] == int32(v)
+	_, ok := slices.BinarySearch(g.nbr[g.off[u]:g.off[u+1]], int32(v))
+	return ok
 }
 
 // Edges calls fn once per undirected edge with u < v.
 func (g *Graph) Edges(fn func(u, v int)) {
 	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
+		for _, w := range g.nbr[g.off[u]:g.off[u+1]] {
 			if int(w) > u {
 				fn(u, int(w))
 			}
@@ -88,9 +113,18 @@ func SortedRemove(a []int32, x int) []int32 {
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate
 // edges and self-loops are rejected at AddEdge time.
+//
+// The builder stores nothing but the flat endpoint lists: Build runs a
+// two-pass counting sort into the CSR arenas, so construction allocates
+// O(1) slices regardless of node count — no per-node adjacency slices
+// exist at any point. The duplicate-detection set of the checked
+// AddEdge/HasEdge path materializes lazily; generators whose edge
+// streams are duplicate-free by construction use the unchecked add and
+// never pay for it (Build still verifies the no-duplicate invariant from
+// the sorted arena).
 type Builder struct {
 	n    int
-	seen map[uint64]struct{}
+	seen map[uint64]struct{} // lazily built; nil until first checked op
 	us   []int32
 	vs   []int32
 }
@@ -100,7 +134,13 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Builder{n: n, seen: make(map[uint64]struct{})}
+	return &Builder{n: n}
+}
+
+// Grow reserves capacity for at least m additional edges.
+func (b *Builder) Grow(m int) {
+	b.us = slices.Grow(b.us, m)
+	b.vs = slices.Grow(b.vs, m)
 }
 
 func edgeKey(u, v int) uint64 {
@@ -110,8 +150,22 @@ func edgeKey(u, v int) uint64 {
 	return uint64(u)<<32 | uint64(uint32(v))
 }
 
+// ensureSeen materializes the duplicate-detection set from the edges
+// accumulated so far (checked and unchecked alike), so checked and
+// unchecked adds may be mixed freely.
+func (b *Builder) ensureSeen() {
+	if b.seen != nil {
+		return
+	}
+	b.seen = make(map[uint64]struct{}, len(b.us))
+	for i := range b.us {
+		b.seen[edgeKey(int(b.us[i]), int(b.vs[i]))] = struct{}{}
+	}
+}
+
 // HasEdge reports whether the builder already contains edge {u,v}.
 func (b *Builder) HasEdge(u, v int) bool {
+	b.ensureSeen()
 	_, ok := b.seen[edgeKey(u, v)]
 	return ok
 }
@@ -125,6 +179,7 @@ func (b *Builder) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at node %d", u)
 	}
+	b.ensureSeen()
 	k := edgeKey(u, v)
 	if _, dup := b.seen[k]; dup {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
@@ -143,27 +198,90 @@ func (b *Builder) MustAddEdge(u, v int) {
 	}
 }
 
-// Build finalizes the graph. The builder may not be reused afterwards.
+// add is the unchecked fast path for generators whose edge streams are
+// duplicate-free by construction: it skips the hash-set membership test
+// (Build's sorted-arena scan still catches a violated promise), so the
+// builder's footprint stays at the two endpoint arrays. Range and
+// self-loop violations panic — they are generator bugs, never data.
+func (b *Builder) add(u, v int) {
+	if uint(u) >= uint(b.n) || uint(v) >= uint(b.n) || u == v {
+		panic(fmt.Sprintf("graph: invalid unchecked edge (%d,%d) on %d nodes", u, v, b.n))
+	}
+	if b.seen != nil {
+		b.seen[edgeKey(u, v)] = struct{}{}
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// Build finalizes the graph by a two-pass counting sort: pass one counts
+// degrees into the offset table, pass two buckets every arc by its
+// target and then scatters the buckets — walked in ascending target
+// order — into the arc arena, which lands each adjacency row already
+// sorted. Total O(n+m) time, O(m) transient space, zero comparison
+// sorts and zero per-node allocations. The builder may not be reused
+// afterwards.
 func (b *Builder) Build() *Graph {
-	deg := make([]int, b.n)
+	n := b.n
+	m := len(b.us)
+	if 2*m > (1<<31)-1 {
+		panic(fmt.Sprintf("graph: %d edges exceed the int32 arc-ID space", m))
+	}
+	off := make([]int32, n+1)
 	for i := range b.us {
-		deg[b.us[i]]++
-		deg[b.vs[i]]++
+		off[b.us[i]+1]++
+		off[b.vs[i]+1]++
 	}
-	adj := make([][]int32, b.n)
-	for v := 0; v < b.n; v++ {
-		adj[v] = make([]int32, 0, deg[v])
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
 	}
+
+	// Bucket arcs by target: srcAt[k] is the source of the k-th arc in
+	// (target-major, insertion-order) position — a stable counting sort
+	// of all 2m arcs by target, reusing the offset table for bucket
+	// starts via a cursor copy.
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	srcAt := make([]int32, 2*m)
 	for i := range b.us {
 		u, v := b.us[i], b.vs[i]
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		srcAt[cur[v]] = u
+		cur[v]++
+		srcAt[cur[u]] = v
+		cur[u]++
 	}
-	for v := 0; v < b.n; v++ {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+
+	// Scatter by source while sweeping targets ascending: each source
+	// row fills in ascending target order, i.e. sorted.
+	copy(cur, off[:n])
+	nbr := make([]int32, 2*m)
+	for t := 0; t < n; t++ {
+		for k := off[t]; k < off[t+1]; k++ {
+			s := srcAt[k]
+			nbr[cur[s]] = int32(t)
+			cur[s]++
+		}
 	}
-	g := &Graph{n: b.n, adj: adj, m: len(b.us)}
+
+	// One linear verification pass: strict per-row ascent proves the
+	// no-duplicate invariant (the unchecked add path relies on it), and
+	// the same sweep fixes Δ for the O(1) MaxDegree.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		row := nbr[off[v]:off[v+1]]
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
+		for i := 1; i < len(row); i++ {
+			if row[i-1] == row[i] {
+				panic(fmt.Sprintf("graph: duplicate edge (%d,%d) reached Build", v, row[i]))
+			}
+		}
+	}
+
+	g := &Graph{n: n, m: m, maxDeg: maxDeg, off: off, nbr: nbr}
 	b.seen = nil
+	b.us, b.vs = nil, nil
 	return g
 }
 
@@ -182,22 +300,45 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 // together with the mapping from new IDs to original IDs. The i-th node of
 // the subgraph corresponds to nodes[i] (deduplicated, in given order).
 func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
-	index := make(map[int]int, len(nodes))
-	orig := make([]int, 0, len(nodes))
-	for _, v := range nodes {
-		if _, ok := index[v]; !ok {
-			index[v] = len(orig)
-			orig = append(orig, v)
+	// Small selections on huge graphs (the per-cluster runs of the
+	// Corollary 1.2 sequential reference) keep the map index; bulk
+	// selections use a dense array and stay O(n + m_sub).
+	var lookup func(int) (int32, bool)
+	if g.n > 64 && len(nodes) < g.n/8 {
+		index := make(map[int]int32, len(nodes))
+		lookup = func(v int) (int32, bool) { i, ok := index[v]; return i, ok }
+		nodes = dedupNodes(nodes, func(v int) bool { _, ok := index[v]; return ok },
+			func(v, i int) { index[v] = int32(i) })
+	} else {
+		index := make([]int32, g.n)
+		for i := range index {
+			index[i] = -1
 		}
+		lookup = func(v int) (int32, bool) { i := index[v]; return i, i >= 0 }
+		nodes = dedupNodes(nodes, func(v int) bool { return index[v] >= 0 },
+			func(v, i int) { index[v] = int32(i) })
 	}
+	orig := nodes
 	b := NewBuilder(len(orig))
 	for newU, u := range orig {
-		for _, w := range g.adj[u] {
-			newW, ok := index[int(w)]
-			if ok && newW > newU {
-				b.MustAddEdge(newU, newW)
+		for _, w := range g.nbr[g.off[u]:g.off[u+1]] {
+			if newW, ok := lookup(int(w)); ok && int(newW) > newU {
+				b.add(newU, int(newW))
 			}
 		}
 	}
 	return b.Build(), orig
+}
+
+// dedupNodes filters nodes to first occurrences in given order,
+// registering each kept node's new index through the provided hooks.
+func dedupNodes(nodes []int, has func(int) bool, set func(v, i int)) []int {
+	kept := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		if !has(v) {
+			set(v, len(kept))
+			kept = append(kept, v)
+		}
+	}
+	return kept
 }

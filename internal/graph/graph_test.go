@@ -171,6 +171,29 @@ func TestChungLuPowerLaw(t *testing.T) {
 	}
 }
 
+// TestChungLuTinyProbabilities pins the Log1p fix in the skipping
+// sampler: pair probabilities below one ulp of 1.0 (log(1-p) would
+// round to 0 and the geometric skip to -Inf) must terminate the row
+// cleanly instead of indexing out of range.
+func TestChungLuTinyProbabilities(t *testing.T) {
+	weights := make([]float64, 2000)
+	for i := range weights {
+		weights[i] = 1e-7
+	}
+	weights[0] = 1e6
+	g := ChungLu(weights, 5)
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edges between two 1e-7-weight nodes have p ~ 1e-20; none should
+	// realistically appear, and none may crash the sampler.
+	g.Edges(func(u, v int) {
+		if u != 0 && v != 0 {
+			t.Fatalf("implausible edge (%d,%d) between tiny-weight nodes", u, v)
+		}
+	})
+}
+
 func TestRandomGeometric(t *testing.T) {
 	g := RandomGeometric(60, 0.25, 7)
 	if g.N() != 60 {

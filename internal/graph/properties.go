@@ -3,7 +3,8 @@ package graph
 // BFS runs a breadth-first search from source and returns (dist, parent).
 // Unreachable nodes have dist = -1 and parent = -1. Ties between potential
 // parents are broken toward the smallest node ID so that the traversal is
-// deterministic.
+// deterministic. The frontier walks the CSR arrays directly: one offset
+// lookup and a contiguous arc range per dequeued node.
 func (g *Graph) BFS(source int) (dist, parent []int) {
 	dist = make([]int, g.n)
 	parent = make([]int, g.n)
@@ -11,16 +12,17 @@ func (g *Graph) BFS(source int) (dist, parent []int) {
 		dist[i] = -1
 		parent[i] = -1
 	}
+	off, nbr := g.off, g.nbr
 	dist[source] = 0
 	queue := make([]int32, 0, g.n)
 	queue = append(queue, int32(source))
-	for len(queue) > 0 {
-		u := int(queue[0])
-		queue = queue[1:]
-		for _, w := range g.adj[u] {
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u] + 1
+		for _, w := range nbr[off[u]:off[u+1]] {
 			if dist[w] == -1 {
-				dist[w] = dist[u] + 1
-				parent[w] = u
+				dist[w] = du
+				parent[w] = int(u)
 				queue = append(queue, w)
 			}
 		}
@@ -84,6 +86,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 	for i := range comp {
 		comp[i] = -1
 	}
+	off, nbr := g.off, g.nbr
 	var comps [][]int
 	for s := 0; s < g.n; s++ {
 		if comp[s] != -1 {
@@ -93,10 +96,9 @@ func (g *Graph) ConnectedComponents() [][]int {
 		comp[s] = id
 		members := []int{s}
 		queue := []int32{int32(s)}
-		for len(queue) > 0 {
-			u := int(queue[0])
-			queue = queue[1:]
-			for _, w := range g.adj[u] {
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range nbr[off[u]:off[u+1]] {
 				if comp[w] == -1 {
 					comp[w] = id
 					members = append(members, int(w))
@@ -128,7 +130,7 @@ func (g *Graph) Degeneracy() int {
 	deg := make([]int, g.n)
 	removed := make([]bool, g.n)
 	for v := range deg {
-		deg[v] = len(g.adj[v])
+		deg[v] = g.Degree(v)
 	}
 	degeneracy := 0
 	for iter := 0; iter < g.n; iter++ {
@@ -142,7 +144,7 @@ func (g *Graph) Degeneracy() int {
 			degeneracy = bestDeg
 		}
 		removed[best] = true
-		for _, w := range g.adj[best] {
+		for _, w := range g.Neighbors(best) {
 			if !removed[w] {
 				deg[w]--
 			}

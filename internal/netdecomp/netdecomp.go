@@ -33,9 +33,10 @@
 package netdecomp
 
 import (
+	"cmp"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"smallbandwidth/internal/graph"
 )
@@ -147,6 +148,10 @@ type proposal struct {
 // through a (founder,node)-keyed map touched only on absorption events.
 func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []bool) int {
 	n := g.N()
+	// The frontier and proposal scans run over the graph's flat CSR
+	// arrays: one offset lookup per node and contiguous arc ranges, no
+	// per-node slice headers in the inner loops.
+	off, nbr := g.CSR()
 	live := make([]bool, n)
 	clusterOf := make([]int32, n) // founder ID, or -1
 	states := make([]classState, n)
@@ -188,7 +193,7 @@ func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []boo
 			if !live[v] || states[clusterOf[v]].label&bitMask == 0 {
 				continue
 			}
-			for _, w := range g.Neighbors(v) {
+			for _, w := range nbr[off[v]:off[v+1]] {
 				if live[w] && clusterOf[w] != clusterOf[v] {
 					frontier = append(frontier, int32(v))
 					inFrontier[v] = true
@@ -207,7 +212,7 @@ func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []boo
 					continue
 				}
 				bestTarget, bestVia := int32(-1), int32(-1)
-				for _, w := range g.Neighbors(int(v)) {
+				for _, w := range nbr[off[v]:off[v+1]] {
 					if !live[w] || clusterOf[w] == clusterOf[v] {
 						continue
 					}
@@ -229,7 +234,7 @@ func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []boo
 			// Group by target: proposals arrive in ascending node order, so
 			// a stable sort on the target yields, per target, exactly the
 			// ascending-node order of the old full scan.
-			sort.SliceStable(props, func(i, j int) bool { return props[i].target < props[j].target })
+			slices.SortStableFunc(props, func(a, b proposal) int { return cmp.Compare(a.target, b.target) })
 
 			// Charge the distributed cost of one iteration: border
 			// exchange + tree aggregation + decision broadcast over the
@@ -304,14 +309,14 @@ func (d *Decomposition) buildClass(g *graph.Graph, color, b int, remaining []boo
 			// improved).
 			frontier = frontier[:0]
 			for _, v := range moved {
-				for _, w := range g.Neighbors(int(v)) {
+				for _, w := range nbr[off[v]:off[v+1]] {
 					if live[w] && !inFrontier[w] && states[clusterOf[w]].label&bitMask != 0 {
 						frontier = append(frontier, w)
 						inFrontier[w] = true
 					}
 				}
 			}
-			sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+			slices.Sort(frontier)
 		}
 	}
 

@@ -1,0 +1,65 @@
+package smallbandwidth
+
+// Million-node substrate smoke test: the guard for the scenario tier
+// opened by the CSR graph layout. It builds a 10⁶-node power-law
+// Chung–Lu graph through the counting-sort builder and pushes one full
+// engine round over it — every directed arc carries a message through
+// the arena-carved delivery tables — so a regression anywhere on the
+// scale path (generator, builder, engine setup, delivery) fails the
+// ordinary test suite instead of only surfacing in `benchtables -scale`.
+// It runs in -short mode too: this *is* the short-form scale check.
+
+import (
+	"testing"
+
+	"smallbandwidth/internal/enginebench"
+)
+
+func TestMillionNodeSmoke(t *testing.T) {
+	const n = 1_000_000
+	g := enginebench.ScaleGraph("chunglu", n)
+	if g.N() != n {
+		t.Fatalf("built %d nodes, want %d", g.N(), n)
+	}
+	if g.M() < n/2 {
+		t.Fatalf("implausibly sparse scale graph: m=%d", g.M())
+	}
+	if g.NumArcs() != 2*g.M() {
+		t.Fatalf("arc space %d != 2m = %d", g.NumArcs(), 2*g.M())
+	}
+	// CSR self-consistency at scale, O(n+m): each row spans exactly its
+	// offset range (ArcBase(v)+deg(v) = next row's base), rows are
+	// strictly ascending, and every target is in range.
+	off, nbr := g.CSR()
+	if len(off) != n+1 || len(nbr) != g.NumArcs() {
+		t.Fatalf("CSR array lengths (%d,%d) for n=%d arcs=%d", len(off), len(nbr), n, g.NumArcs())
+	}
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(v)
+		if int(g.ArcBase(v))+len(row) != int(off[v+1]) {
+			t.Fatalf("node %d: row end %d != next offset %d", v, int(g.ArcBase(v))+len(row), off[v+1])
+		}
+		for i, w := range row {
+			if int(w) < 0 || int(w) >= n || int(w) == v {
+				t.Fatalf("node %d: invalid neighbor %d", v, w)
+			}
+			if i > 0 && row[i-1] >= w {
+				t.Fatalf("node %d: row not strictly ascending at %d", v, i)
+			}
+		}
+	}
+	if int(off[n]) != g.NumArcs() {
+		t.Fatalf("offset table ends at %d, want %d arcs", off[n], g.NumArcs())
+	}
+
+	st, err := enginebench.ScaleRound(g)
+	if err != nil {
+		t.Fatalf("million-node engine round failed: %v", err)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("engine charged %d rounds for the single-round program", st.Rounds)
+	}
+	if st.Messages != int64(g.NumArcs()) {
+		t.Fatalf("delivered %d messages, want one per arc = %d", st.Messages, g.NumArcs())
+	}
+}
