@@ -19,9 +19,12 @@
 // -scale runs the million-node scenario tier opened by the CSR graph
 // substrate — 10⁶-node ChungLu/GNP/grid construction, a full engine
 // round, one ColorCONGEST iteration, and the ColorDecomposed pipeline —
-// and records BENCH_scale.json (1e5-node sweep with -quick):
+// and records BENCH_scale.json (1e5-node sweep with -quick); -snapshot
+// measures checkpoint recording, encode, decode, and resume at the same
+// tier and records BENCH_snapshot.json:
 //
 //	benchtables -scale -label my-change
+//	benchtables -snapshot -label my-change
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	mpcMode := flag.Bool("mpc", false, "benchmark the MPC simulator and record BENCH_mpc.json")
 	decompMode := flag.Bool("decomp", false, "benchmark the Corollary 1.2 pipeline (sequential vs batched) and record BENCH_decomp.json")
 	scaleMode := flag.Bool("scale", false, "run the million-node scenario tier (CSR builds, engine round, ColorCONGEST, ColorDecomposed at n=1e6; 1e5 with -quick) and record BENCH_scale.json")
+	snapshotMode := flag.Bool("snapshot", false, "measure checkpoint recording, encode, decode, and resume at the scale tier (n=1e6; 1e5 with -quick) and record BENCH_snapshot.json")
 	label := flag.String("label", "current", "label for the -engine/-clique/-mpc/-decomp record")
 	out := flag.String("o", "", "output path for the -engine/-clique/-mpc/-decomp record (default per mode)")
 	procs := flag.String("procs", "current", "GOMAXPROCS for the record sweeps: current, 1, max, or both (runs the sweep at GOMAXPROCS=1 and NumCPU, recording <label>@p1 and <label>@pN)")
@@ -98,6 +102,9 @@ func main() {
 		return
 	case *scaleMode:
 		record("BENCH_scale.json", "smallbandwidth/bench-scale/v1", "cmd/benchtables -scale", scaleBench)
+		return
+	case *snapshotMode:
+		record("BENCH_snapshot.json", "smallbandwidth/bench-snapshot/v1", "cmd/benchtables -snapshot", snapshotBench)
 		return
 	}
 	want := map[string]bool{}

@@ -1,0 +1,82 @@
+package main
+
+// Snapshot/restore cost at the scale tier (BENCH_snapshot.json): a
+// checkpointed ColorCONGEST iteration on the 10⁶-node grid (the
+// recording overhead, comparable against scale-color/grid), then the
+// encode, decode, and resume costs of the last mid-run cut. The
+// encode/decode rows report the checkpoint file size in the words
+// column; the snapshot's cut round rides in the rounds column.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	sb "smallbandwidth"
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/enginebench"
+)
+
+func snapshotBench(quick bool) []EngineWorkload {
+	n := 1000000
+	if quick {
+		n = 100000
+	}
+	fail := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot %s run failed: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+
+	g := enginebench.ScaleGraph("grid", n)
+	inst := sb.DeltaPlusOne(g)
+	opts := core.Options{MaxIterations: 1}
+	var out []EngineWorkload
+
+	// Record the run with a checkpointer attached, keeping the latest
+	// non-final cut of every domain: the deepest state a crash could
+	// still be recovered from.
+	cuts := map[int32]*congest.DomainCut{}
+	ck := &congest.Checkpointer{OnCut: func(c *congest.DomainCut) {
+		if !c.Final {
+			cuts[c.Root] = c
+		}
+	}}
+	out = append(out, measure(fmt.Sprintf("snap-record/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+		res, err := core.ListColorResumable(inst, opts, ck, nil)
+		fail("record", err)
+		return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
+	}))
+	if len(cuts) == 0 {
+		fail("record", fmt.Errorf("run took no mid-run cut"))
+	}
+	snap := &congest.RunSnapshot{}
+	for _, c := range cuts {
+		snap.Cuts = append(snap.Cuts, *c)
+	}
+	sort.Slice(snap.Cuts, func(i, j int) bool { return snap.Cuts[i].Root < snap.Cuts[j].Root })
+	cutRound := snap.Cuts[0].Round
+
+	var raw []byte
+	out = append(out, measure(fmt.Sprintf("snap-encode/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+		raw = core.EncodeCheckpoint(&core.Checkpoint{Inst: inst, Opts: opts, Snap: snap})
+		return cutRound, int64(len(snap.Cuts)), int64(len(raw))
+	}))
+
+	var cp *core.Checkpoint
+	out = append(out, measure(fmt.Sprintf("snap-decode/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+		var err error
+		cp, err = core.DecodeCheckpoint(raw)
+		fail("decode", err)
+		return cutRound, int64(len(cp.Snap.Cuts)), int64(len(raw))
+	}))
+
+	out = append(out, measure(fmt.Sprintf("snap-resume/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+		res, err := core.ListColorFromCheckpoint(cp, nil)
+		fail("resume", err)
+		return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
+	}))
+	return out
+}

@@ -7,6 +7,8 @@
 //	colorcli -graph regular -n 128 -d 4 -model clique
 //	colorcli -graph grid -n 64 -model mpc -sublinear
 //	colorcli -graph barbell -n 64 -model decomposed
+//	colorcli -graph torus -n 4096 -model congest -checkpoint-every 8 -checkpoint run.snap
+//	colorcli -resume run.snap
 package main
 
 import (
@@ -15,8 +17,12 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 
 	sb "smallbandwidth"
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/netdecomp"
 )
 
 func main() {
@@ -30,8 +36,16 @@ func main() {
 		sublinear = flag.Bool("sublinear", false, "use sublinear memory in -model mpc")
 		lists     = flag.String("lists", "deltaplus1", "deltaplus1|random")
 		colors    = flag.Uint("colors", 0, "color-space size for -lists random (0 = 4·Δ)")
+		ckEvery   = flag.Int("checkpoint-every", 0, "write a checkpoint after every N consistent cuts (congest) or color classes (decomposed); 0 disables")
+		ckFile    = flag.String("checkpoint", "checkpoint.snap", "checkpoint file written by -checkpoint-every")
+		resume    = flag.String("resume", "", "resume from a checkpoint file; all graph and model flags are ignored (the file records the instance and options)")
 	)
 	flag.Parse()
+
+	if *resume != "" {
+		runResume(*resume)
+		return
+	}
 
 	g := buildGraph(*graphKind, *n, *d, *p, *seed)
 	var inst *sb.Instance
@@ -57,12 +71,24 @@ func main() {
 
 	switch *model {
 	case "congest":
-		res, err := sb.ColorCONGEST(inst)
+		var res *sb.CONGESTResult
+		var err error
+		if *ckEvery > 0 {
+			res, err = runCongestCheckpointed(inst, *ckEvery, *ckFile)
+		} else {
+			res, err = sb.ColorCONGEST(inst)
+		}
 		fail(err)
 		fmt.Printf("CONGEST (Thm 1.1): rounds=%d messages=%d maxMsgWords=%d iterations=%d\n",
 			res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxMessageWords, res.Iterations)
 	case "decomposed":
-		res, err := sb.ColorDecomposed(inst)
+		var res *sb.DecompResult
+		var err error
+		if *ckEvery > 0 {
+			res, err = runDecomposedCheckpointed(inst, *ckEvery, *ckFile)
+		} else {
+			res, err = sb.ColorDecomposed(inst)
+		}
 		fail(err)
 		dc := res.Decomp
 		fmt.Printf("Corollary 1.2: chargedRounds=%d α=%d β=%d κ=%d clusters=%d\n",
@@ -135,6 +161,97 @@ func buildGraph(kind string, n, d int, p float64, seed uint64) *sb.Graph {
 		os.Exit(2)
 		return nil
 	}
+}
+
+// runCongestCheckpointed runs Theorem 1.1 with a checkpointer attached,
+// rewriting the checkpoint file after every N consistent cuts. Each file
+// is self-contained: instance, options, and the latest cut of every
+// component, so `colorcli -resume FILE` needs no other flags.
+func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONGESTResult, error) {
+	opts := sb.CONGESTOptions{}
+	cuts := 0
+	ck := &congest.Checkpointer{}
+	ck.OnCut = func(*congest.DomainCut) {
+		cuts++
+		if cuts%every != 0 {
+			return
+		}
+		raw := core.EncodeCheckpoint(&core.Checkpoint{Inst: inst, Opts: opts, Snap: ck.Latest()})
+		if err := writeFileAtomic(file, raw); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+	}
+	res, err := core.ListColorResumable(inst, opts, ck, nil)
+	if err == nil && cuts > 0 {
+		fmt.Printf("checkpoints: %d cuts observed, latest written to %s\n", cuts, file)
+	}
+	return res, err
+}
+
+// runDecomposedCheckpointed is the Corollary 1.2 counterpart: the
+// pipeline checkpoints at class boundaries.
+func runDecomposedCheckpointed(inst *sb.Instance, every int, file string) (*sb.DecompResult, error) {
+	opts := sb.CONGESTOptions{}
+	classes := 0
+	onCk := func(cp *netdecomp.PipelineCheckpoint) {
+		classes++
+		if classes%every != 0 {
+			return
+		}
+		raw := netdecomp.EncodeCheckpoint(&netdecomp.Checkpoint{Inst: inst, Opts: opts, State: cp})
+		if err := writeFileAtomic(file, raw); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+	}
+	res, err := netdecomp.ListColorDecomposedResumable(inst, opts, onCk, nil)
+	if err == nil && classes > 0 {
+		fmt.Printf("checkpoints: %d class boundaries observed, latest written to %s\n", classes, file)
+	}
+	return res, err
+}
+
+// runResume restores a run from a checkpoint file. The model is read
+// from the file itself: the two formats carry distinct fingerprints, so
+// decoding tries Theorem 1.1 first and the pipeline second.
+func runResume(file string) {
+	raw, err := os.ReadFile(file)
+	fail(err)
+	if cp, err := core.DecodeCheckpoint(raw); err == nil {
+		res, err := core.ListColorFromCheckpoint(cp, nil)
+		fail(err)
+		fail(cp.Inst.VerifyColoring(res.Colors))
+		fmt.Printf("resumed CONGEST (Thm 1.1): rounds=%d messages=%d maxMsgWords=%d iterations=%d\n",
+			res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxMessageWords, res.Iterations)
+	} else if cp, derr := netdecomp.DecodeCheckpoint(raw); derr == nil {
+		res, err := netdecomp.ListColorDecomposedResumable(cp.Inst, cp.Opts, nil, cp.State)
+		fail(err)
+		fmt.Printf("resumed Corollary 1.2: chargedRounds=%d classes=%d messages=%d\n",
+			res.ChargedRounds, res.Decomp.Colors, res.Messages)
+	} else {
+		log.Fatalf("%s: not a CONGEST checkpoint (%v) nor a pipeline checkpoint (%v)", file, err, derr)
+	}
+	fmt.Println("coloring verified ✓")
+	os.Exit(0)
+}
+
+// writeFileAtomic writes via a temp file and rename, so a crash during
+// a checkpoint write never destroys the previous good checkpoint.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ck-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func fail(err error) {

@@ -48,6 +48,24 @@ type Stats = engine.Stats
 // only from that node's own goroutine.
 type Ctx = engine.Ctx
 
+// Checkpoint/restore types, shared with the engine: a Checkpointer
+// attached to a run collects consistent per-domain cuts at the round
+// barriers in which every node committed its state (Ctx.Commit), and a
+// RunSnapshot restores a run from such cuts (Ctx.Resumed).
+type (
+	// Checkpointer collects the cuts of a run.
+	Checkpointer = engine.Checkpointer
+	// RunSnapshot is a consistent cut of a whole run, one DomainCut per
+	// lockstep domain.
+	RunSnapshot = engine.RunSnapshot
+	// DomainCut is one connected component's consistent cut.
+	DomainCut = engine.DomainCut
+	// NodeCut is one node's committed state in a cut.
+	NodeCut = engine.NodeCut
+	// QueueCut is one directed edge's undelivered backlog in a cut.
+	QueueCut = engine.QueueCut
+)
+
 // Config controls the simulation.
 type Config struct {
 	// MaxWords is the bandwidth cap per edge per direction per round, in
@@ -57,6 +75,11 @@ type Config struct {
 	// MaxRounds aborts runs that exceed this many rounds (default 1<<22),
 	// turning protocol livelocks into test failures instead of hangs.
 	MaxRounds int
+	// Checkpoint, when non-nil, collects consistent cuts of the run.
+	Checkpoint *Checkpointer
+	// Resume, when non-nil, restores the run from a snapshot before any
+	// node program starts.
+	Resume *RunSnapshot
 }
 
 // DomainStats is one connected component's share of a run's Stats.
@@ -74,8 +97,10 @@ func Run(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
 // component's own Stats (ordered by smallest member).
 func RunWithDomains(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats, []DomainStats, error) {
 	return engine.RunWithDomains(g, engine.Config{
-		Model:     "congest",
-		MaxWords:  cfg.MaxWords,
-		MaxRounds: cfg.MaxRounds,
+		Model:      "congest",
+		MaxWords:   cfg.MaxWords,
+		MaxRounds:  cfg.MaxRounds,
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
 	}, program)
 }

@@ -1,0 +1,451 @@
+package core
+
+// Checkpoint/restore for the Theorem 1.1 CONGEST runs.
+//
+// The engine takes consistent cuts at the round barriers in which every
+// node committed its state (internal/engine/checkpoint.go); this file
+// defines what a core node commits — a canonical byte blob of its whole
+// protocol state at the top of a partial-coloring iteration — and how a
+// fresh run restores from such a cut: done nodes are grafted straight
+// into the Result, live nodes skip the tree build and Linial segments
+// (their outcome is in the blob) and re-enter the iteration loop at the
+// recorded iteration and engine round. Because the protocol is
+// deterministic, the resumed run reproduces the uninterrupted run's
+// colors, Stats, and telemetry bit for bit — the property the
+// crash-at-every-round sweep pins.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/snapshot"
+)
+
+// checkpointModel fingerprints the algorithm a checkpoint belongs to; a
+// resume refuses blobs from a different protocol.
+const checkpointModel = "congest/listcolor/v1"
+
+// Checkpoint bundles everything needed to resume a Theorem 1.1 run:
+// the instance, the options it ran under, and the engine's cut.
+type Checkpoint struct {
+	Inst *graph.Instance
+	Opts Options
+	Snap *congest.RunSnapshot
+}
+
+// ckRun carries checkpoint collection and restore state into
+// runColoringDomains.
+type ckRun struct {
+	ck      *congest.Checkpointer
+	snap    *congest.RunSnapshot
+	restore []*nodeRestore // by node ID; nil entries start fresh
+}
+
+// nodeRestore is one node's decoded checkpoint blob.
+type nodeRestore struct {
+	iter      int
+	done      bool // node finished before the cut (never reruns)
+	alive     bool
+	colored   bool
+	color     uint32
+	coloredAt int
+	psi       uint64
+	op        uint64
+
+	// Spanning-tree view (congest.Tree), flattened. Children are
+	// derived from the component's parent pointers on decode.
+	parent        int
+	depth         int
+	height        int
+	size          int
+	subtreeHeight int
+	children      []int
+
+	list     []uint32
+	aliveNbr []bool
+}
+
+// commitBlob encodes the node's full protocol state at the top of
+// iteration iter. The encoding is canonical (fixed field order, delta-
+// coded sorted list), so cut bytes are identical across worker counts.
+func (ns *nodeState) commitBlob(iter int) []byte {
+	var e snapshot.Enc
+	e.Uvarint(uint64(iter))
+	e.Bool(ns.alive)
+	e.Bool(ns.colored)
+	e.Uvarint(uint64(ns.color))
+	e.Varint(int64(ns.coloredAt))
+	e.Uvarint(ns.psi)
+	e.Uvarint(ns.op)
+	e.Varint(int64(ns.tree.Parent))
+	e.Uvarint(uint64(ns.tree.Depth))
+	e.Uvarint(uint64(ns.tree.Height))
+	e.Uvarint(uint64(ns.tree.Size))
+	e.Uvarint(uint64(ns.tree.SubtreeHeight))
+	e.Uvarint(uint64(len(ns.list)))
+	prev := int64(-1)
+	for _, c := range ns.list {
+		e.Uvarint(uint64(int64(c) - prev))
+		prev = int64(c)
+	}
+	e.Uvarint(uint64(len(ns.aliveNbr)))
+	for _, b := range ns.aliveNbr {
+		e.Bool(b)
+	}
+	return e.Bytes()
+}
+
+// applyRestore overwrites the freshly initialized node state with the
+// decoded checkpoint state, reconstructing the tree view locally (the
+// build protocol already ran before the cut; re-running it would charge
+// rounds the original run never paid).
+func (ns *nodeState) applyRestore(rs *nodeRestore) {
+	ns.alive = rs.alive
+	ns.colored = rs.colored
+	ns.color = rs.color
+	ns.coloredAt = rs.coloredAt
+	ns.psi = rs.psi
+	ns.op = rs.op
+	ns.list = ns.list[:len(rs.list)]
+	copy(ns.list, rs.list)
+	copy(ns.aliveNbr, rs.aliveNbr)
+	ns.tree = &congest.Tree{
+		Root:          ns.root,
+		Parent:        rs.parent,
+		Children:      rs.children,
+		Depth:         rs.depth,
+		Height:        rs.height,
+		Size:          rs.size,
+		SubtreeHeight: rs.subtreeHeight,
+	}
+}
+
+// decodeNodeBlob parses and structurally validates one commit blob.
+// deg/listCap/c are the node's degree, original list length, and the
+// color-space size; malformed bytes yield an error, never a panic.
+func decodeNodeBlob(b []byte, deg, listCap int, c uint32) (*nodeRestore, error) {
+	d := snapshot.NewDec(b)
+	iter := d.Uvarint()
+	rs := &nodeRestore{alive: d.Bool(), colored: d.Bool()}
+	color := d.Uvarint()
+	coloredAt := d.Varint()
+	rs.psi = d.Uvarint()
+	rs.op = d.Uvarint()
+	parent := d.Varint()
+	depth := d.Uvarint()
+	height := d.Uvarint()
+	size := d.Uvarint()
+	sub := d.Uvarint()
+	k := d.Count(1)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	rs.list = make([]uint32, k)
+	prev := int64(-1)
+	for i := range rs.list {
+		delta := d.Uvarint()
+		prev += int64(delta)
+		if d.Err() != nil || delta == 0 || prev >= int64(c) {
+			return nil, errors.New("core: checkpoint blob has an invalid color list")
+		}
+		rs.list[i] = uint32(prev)
+	}
+	nb := d.Count(1)
+	rs.aliveNbr = make([]bool, nb)
+	for i := range rs.aliveNbr {
+		rs.aliveNbr[i] = d.Bool()
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	if iter > math.MaxInt32 || color >= uint64(c) && rs.colored ||
+		depth > math.MaxInt32 || height > math.MaxInt32 || size > math.MaxInt32 || sub > math.MaxInt32 ||
+		parent < -1 || parent > math.MaxInt32 {
+		return nil, errors.New("core: checkpoint blob field out of range")
+	}
+	rs.iter = int(iter)
+	rs.color = uint32(color)
+	rs.coloredAt = int(coloredAt)
+	rs.parent = int(parent)
+	rs.depth, rs.height, rs.size, rs.subtreeHeight = int(depth), int(height), int(size), int(sub)
+	if rs.alive == rs.colored {
+		// A core node is alive exactly until it takes a color; the only
+		// other exit (the iteration cap) leaves it alive and uncolored.
+		return nil, errors.New("core: checkpoint blob alive/colored flags inconsistent")
+	}
+	if rs.colored && (coloredAt < 0 || coloredAt >= int64(iter)) || !rs.colored && coloredAt != -1 {
+		return nil, errors.New("core: checkpoint blob coloring iteration inconsistent")
+	}
+	if nb != deg {
+		return nil, fmt.Errorf("core: checkpoint blob records %d neighbors, node has %d", nb, deg)
+	}
+	if len(rs.list) > listCap {
+		return nil, fmt.Errorf("core: checkpoint blob list exceeds the node's original list")
+	}
+	if rs.depth > rs.height || rs.subtreeHeight > rs.height {
+		return nil, errors.New("core: checkpoint blob tree geometry inconsistent")
+	}
+	return rs, nil
+}
+
+// decodeRestore decodes every node blob of the snapshot, validates the
+// cut against the instance, and derives each node's tree children from
+// the component's parent pointers (ascending, matching the order the
+// build protocol produces from sorted neighbor lists).
+func decodeRestore(inst *graph.Instance, comps [][]int, snap *congest.RunSnapshot) ([]*nodeRestore, error) {
+	restore := make([]*nodeRestore, inst.G.N())
+	compByRoot := make(map[int32][]int, len(comps))
+	for _, comp := range comps {
+		compByRoot[int32(comp[0])] = comp
+	}
+	for ci := range snap.Cuts {
+		cut := &snap.Cuts[ci]
+		comp := compByRoot[cut.Root]
+		if comp == nil {
+			return nil, fmt.Errorf("core: snapshot cut names unknown component root %d", cut.Root)
+		}
+		if len(cut.Nodes) != len(comp) {
+			return nil, fmt.Errorf("core: snapshot cut of component %d covers %d of its %d nodes",
+				cut.Root, len(cut.Nodes), len(comp))
+		}
+		for i := range cut.Nodes {
+			nc := &cut.Nodes[i]
+			v := int(nc.ID)
+			if comp[i] != v {
+				return nil, fmt.Errorf("core: snapshot cut of component %d has node %d where %d belongs",
+					cut.Root, v, comp[i])
+			}
+			if restore[v] != nil {
+				return nil, fmt.Errorf("core: node %d appears in two snapshot cuts", v)
+			}
+			rs, err := decodeNodeBlob(nc.Blob, inst.G.Degree(v), len(inst.Lists[v]), inst.C)
+			if err != nil {
+				return nil, fmt.Errorf("core: node %d: %w", v, err)
+			}
+			rs.done = nc.Done
+			restore[v] = rs
+		}
+		// Component-wide consistency: one tree rooted at the cut root with
+		// agreed global geometry, every node at the same iteration.
+		first := restore[comp[0]]
+		for _, v := range comp {
+			rs := restore[v]
+			if rs.iter != first.iter || rs.done != first.done ||
+				rs.height != first.height || rs.size != first.size {
+				return nil, fmt.Errorf("core: snapshot cut of component %d is internally inconsistent at node %d",
+					cut.Root, v)
+			}
+			if v == comp[0] {
+				if rs.parent != -1 {
+					return nil, fmt.Errorf("core: component root %d has tree parent %d", v, rs.parent)
+				}
+			} else if !hasNeighbor(inst.G, v, rs.parent) {
+				return nil, fmt.Errorf("core: node %d names tree parent %d, not a neighbor", v, rs.parent)
+			}
+		}
+		if first.size != len(comp) {
+			return nil, fmt.Errorf("core: snapshot cut of component %d records tree size %d for %d nodes",
+				cut.Root, first.size, len(comp))
+		}
+		for _, v := range comp { // ascending, so children lists come out ascending
+			if p := restore[v].parent; p >= 0 {
+				restore[p].children = append(restore[p].children, v)
+			}
+		}
+	}
+	return restore, nil
+}
+
+// hasNeighbor reports whether w is a neighbor of v (sorted rows).
+func hasNeighbor(g *graph.Graph, v, w int) bool {
+	if w < 0 || w > math.MaxInt32 {
+		return false
+	}
+	_, ok := slices.BinarySearch(g.Neighbors(v), int32(w))
+	return ok
+}
+
+// prefillRestored replays the restored nodes' past iterations into the
+// metrics (weight 1: restores never run deduplicated) and grafts done
+// nodes' colors into the result arrays, since they never rerun.
+func prefillRestored(m *metrics, colors []uint32, coloredFlag []bool, restore []*nodeRestore) {
+	for v, rs := range restore {
+		if rs == nil {
+			continue
+		}
+		for i := 0; i < rs.iter; i++ {
+			if !rs.colored || i <= rs.coloredAt {
+				m.addAlive(i, 1)
+			}
+		}
+		if rs.colored {
+			m.addColored(rs.coloredAt, 1)
+		}
+		if rs.done {
+			colors[v] = rs.color
+			coloredFlag[v] = rs.colored
+		}
+	}
+}
+
+// ListColorResumable is ListColorCONGEST with checkpoint/restore: ck,
+// when non-nil, collects a consistent cut at every partial-coloring
+// iteration boundary; snap, when non-nil, restores the run from such a
+// cut instead of starting fresh. Components absent from the snapshot
+// start from round zero. The resumed run finishes with exactly the
+// colors, Stats, and per-iteration telemetry of the uninterrupted run.
+//
+// Restored runs always simulate every component (the identity-class
+// deduplication of ListColorCONGEST is skipped, as a snapshot names
+// concrete node IDs), and potential tracking is rejected: per-phase
+// potential sums are measured live and cannot be reconstructed from a
+// mid-run cut.
+func ListColorResumable(inst *graph.Instance, opts Options, ck *congest.Checkpointer, snap *congest.RunSnapshot) (*Result, error) {
+	if opts.TrackPotentials {
+		return nil, errors.New("core: potential tracking cannot span a checkpoint/resume boundary")
+	}
+	p, err := ComputeParams(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if inst.G.N() == 0 {
+		return &Result{Params: p, Done: true}, nil
+	}
+	comps := inst.G.ConnectedComponents()
+	ckr := &ckRun{ck: ck}
+	if snap != nil {
+		ckr.snap = snap
+		if ckr.restore, err = decodeRestore(inst, comps, snap); err != nil {
+			return nil, err
+		}
+	}
+	res, _, err := runColoringDomains(inst, opts, p, nil, comps, ckr)
+	return res, err
+}
+
+// ListColorFromCheckpoint resumes a run from a decoded checkpoint file,
+// under exactly the options the checkpoint records.
+func ListColorFromCheckpoint(cp *Checkpoint, ck *congest.Checkpointer) (*Result, error) {
+	return ListColorResumable(cp.Inst, cp.Opts, ck, cp.Snap)
+}
+
+// EncodeCheckpoint serializes a checkpoint into the versioned snapshot
+// container: the options fingerprint, the CSR graph dump, the color
+// lists, the engine cut, and the (empty) seed-provenance section — the
+// algorithm is deterministic and keeps no live RNG state. The encoding
+// is canonical: decoding a checkpoint and re-encoding it reproduces the
+// bytes exactly, which the golden-file test pins for format v1.
+func EncodeCheckpoint(cp *Checkpoint) []byte {
+	var meta snapshot.Enc
+	meta.Blob([]byte(checkpointModel))
+	meta.Uvarint(uint64(cp.Opts.MaxWords))
+	meta.Uvarint(uint64(cp.Opts.MaxRounds))
+	meta.Uvarint(uint64(cp.Opts.MaxIterations))
+	meta.Bool(cp.Opts.HighAccuracy)
+	var g snapshot.Enc
+	snapshot.EncodeGraph(&g, cp.Inst.G)
+	var lists snapshot.Enc
+	snapshot.EncodeLists(&lists, cp.Inst.C, cp.Inst.Lists)
+	var eng snapshot.Enc
+	snapshot.EncodeRunSnapshot(&eng, cp.Snap)
+	var rng snapshot.Enc
+	rng.Uvarint(0)
+	return snapshot.Encode(&snapshot.Container{
+		Version: snapshot.Version,
+		Sections: []snapshot.Section{
+			{ID: snapshot.SecMeta, Data: meta.Bytes()},
+			{ID: snapshot.SecGraph, Data: g.Bytes()},
+			{ID: snapshot.SecLists, Data: lists.Bytes()},
+			{ID: snapshot.SecEngine, Data: eng.Bytes()},
+			{ID: snapshot.SecRNG, Data: rng.Bytes()},
+		},
+	})
+}
+
+// DecodeCheckpoint parses a checkpoint file. Corrupt or truncated input
+// returns an error, never panics; the decoded instance is revalidated,
+// and the engine revalidates the cut against it on resume.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	c, err := snapshot.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	section := func(id uint32, name string) (*snapshot.Dec, error) {
+		data := c.Find(id)
+		if data == nil {
+			return nil, fmt.Errorf("core: checkpoint lacks its %s section", name)
+		}
+		return snapshot.NewDec(data), nil
+	}
+
+	md, err := section(snapshot.SecMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	model := string(md.Blob())
+	maxWords := md.Uvarint()
+	maxRounds := md.Uvarint()
+	maxIter := md.Uvarint()
+	high := md.Bool()
+	if err := md.Close(); err != nil {
+		return nil, err
+	}
+	if model != checkpointModel {
+		return nil, fmt.Errorf("core: checkpoint fingerprint %q, this decoder reads %q", model, checkpointModel)
+	}
+	if maxWords > math.MaxInt32 || maxRounds > math.MaxInt32 || maxIter > math.MaxInt32 {
+		return nil, errors.New("core: checkpoint option fields out of range")
+	}
+	opts := Options{
+		MaxWords:      int(maxWords),
+		MaxRounds:     int(maxRounds),
+		MaxIterations: int(maxIter),
+		HighAccuracy:  high,
+	}
+
+	gd, err := section(snapshot.SecGraph, "graph")
+	if err != nil {
+		return nil, err
+	}
+	g, err := snapshot.DecodeGraph(gd)
+	if err != nil {
+		return nil, err
+	}
+	if err := gd.Close(); err != nil {
+		return nil, err
+	}
+
+	ld, err := section(snapshot.SecLists, "lists")
+	if err != nil {
+		return nil, err
+	}
+	cc, lists, err := snapshot.DecodeLists(ld)
+	if err != nil {
+		return nil, err
+	}
+	if err := ld.Close(); err != nil {
+		return nil, err
+	}
+	inst := &graph.Instance{G: g, C: cc, Lists: lists}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint instance invalid: %w", err)
+	}
+
+	ed, err := section(snapshot.SecEngine, "engine")
+	if err != nil {
+		return nil, err
+	}
+	snap, err := snapshot.DecodeRunSnapshot(ed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ed.Close(); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Inst: inst, Opts: opts, Snap: snap}, nil
+}

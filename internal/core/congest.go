@@ -164,7 +164,7 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 	groups := groupIdenticalComponents(inst, comps)
 	if len(groups) == len(comps) {
 		// Every component is distinct: run the instance as given.
-		res, _, err := runColoringDomains(inst, opts, p, nil, comps)
+		res, _, err := runColoringDomains(inst, opts, p, nil, comps, nil)
 		return res, err
 	}
 
@@ -194,7 +194,7 @@ func ListColorCONGEST(inst *graph.Instance, opts Options) (*Result, error) {
 		multByRoot[starts[gi]] = int64(len(g))
 	}
 	subInst := &graph.Instance{G: sub, C: inst.C, Lists: subLists}
-	rep, domStats, err := runColoringDomains(subInst, opts, p, weights, nil)
+	rep, domStats, err := runColoringDomains(subInst, opts, p, weights, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +281,10 @@ func groupIdenticalComponents(inst *graph.Instance, comps [][]int) [][]int {
 // parameter sets even for a single-component instance, since the
 // instance then stands for components of a larger original. comps, when
 // non-nil, is inst.G.ConnectedComponents() precomputed by the caller.
-func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights []int, comps [][]int) (*Result, []congest.DomainStats, error) {
+// ckr, when non-nil, attaches checkpoint collection and/or restores the
+// run from decoded per-node checkpoint state (see checkpoint.go);
+// restored runs are incompatible with telemetry weighting.
+func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights []int, comps [][]int, ckr *ckRun) (*Result, []congest.DomainStats, error) {
 	// Per-component BFS roots (the smallest member), component-local
 	// ranks, and component parameter sets. Every node can derive all
 	// three locally in O(D) rounds by a leader-election flood plus local
@@ -324,6 +327,21 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 	var mu sync.Mutex
 
 	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds}
+	var restore []*nodeRestore
+	if ckr != nil {
+		cfg.Checkpoint = ckr.ck
+		cfg.Resume = ckr.snap
+		restore = ckr.restore
+		if restore != nil {
+			if weights != nil {
+				return nil, nil, fmt.Errorf("core: cannot resume a telemetry-weighted run")
+			}
+			// Nodes already done in the snapshot never rerun; restored
+			// nodes replay their past iterations into the metrics, and
+			// done nodes contribute their recorded colors directly.
+			prefillRestored(m, colors, coloredFlag, restore)
+		}
+	}
 	stats, domStats, err := congest.RunWithDomains(inst.G, cfg, func(ctx *congest.Ctx) {
 		w := 1
 		if weights != nil {
@@ -332,7 +350,13 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		ns := &nodeState{ctx: ctx, p: params[ctx.ID()], opts: opts, m: m,
 			root: int(roots[ctx.ID()]), rank: ranks[ctx.ID()], weight: w}
 		ns.init(inst, ar)
-		ns.run()
+		if restore != nil && restore[ctx.ID()] != nil {
+			rs := restore[ctx.ID()]
+			ns.applyRestore(rs)
+			ns.loop(rs.iter)
+		} else {
+			ns.run()
+		}
 		mu.Lock()
 		colors[ctx.ID()] = ns.color
 		coloredFlag[ctx.ID()] = ns.colored
@@ -391,11 +415,12 @@ type nodeState struct {
 	tree *congest.Tree
 	op   uint64
 
-	psi     uint64   // Linial input color in [K]
-	list    []uint32 // remaining allowed colors
-	color   uint32
-	colored bool
-	alive   bool
+	psi       uint64   // Linial input color in [K]
+	list      []uint32 // remaining allowed colors
+	color     uint32
+	colored   bool
+	alive     bool
+	coloredAt int // iteration that colored this node; −1 while uncolored
 
 	aliveNbr []bool // by neighbor index: neighbor still uncolored
 
@@ -546,6 +571,7 @@ func (ns *nodeState) init(inst *graph.Instance, ar *runArenas) {
 	// wrap int32 from 2^29 arcs on, far inside the layout's 2^31-1 cap.
 	lo, hi := int(ar.off[v]), int(ar.off[v+1])
 	ns.alive = true
+	ns.coloredAt = -1
 	ns.aliveNbr = ar.aliveNbr[lo:hi:hi]
 	for i := range ns.aliveNbr {
 		ns.aliveNbr[i] = true
@@ -572,23 +598,55 @@ func (ns *nodeState) init(inst *graph.Instance, ar *runArenas) {
 func (ns *nodeState) run() {
 	ns.tree = congest.BuildBFSTree(ns.ctx, ns.root)
 	ns.runLinial()
+	ns.loop(0)
+}
+
+// loop runs the partial-coloring iterations from startIter (> 0 only on
+// a resumed node, whose tree, ψ, and list state were restored from a
+// checkpoint blob instead of re-running the build and Linial segments).
+//
+// The loop top is the protocol's commit barrier: every segment between
+// two tops (the alive-count aggregation, the ⌈logC⌉ phases, the MIS
+// step, the announce round) is the same length for every node of a
+// component, so all nodes of a domain reach the top in the same engine
+// round, which is exactly what the engine needs to assemble the
+// committed blobs plus the queued backlog into a consistent cut.
+func (ns *nodeState) loop(startIter int) {
 	maxIter := ns.opts.MaxIterations
-	for iter := 0; ; iter++ {
+	for iter := startIter; ; iter++ {
+		if ns.opts.crashIter > 0 && iter+1 == ns.opts.crashIter && ns.ctx.ID() == ns.opts.crashNode {
+			panic(fmt.Sprintf("core: injected crash at node %d, iteration %d", ns.ctx.ID(), iter))
+		}
+		if ns.ctx.CheckpointEnabled() {
+			ns.ctx.Commit(ns.commitBlob(iter))
+		}
 		aliveVal := 0.0
 		if ns.alive {
 			aliveVal = 1
 		}
 		totals := ns.converge(aliveVal, 0)
 		if totals[0] == 0 {
+			ns.commitDone(iter)
 			return
 		}
 		if maxIter > 0 && iter >= maxIter {
+			ns.commitDone(iter)
 			return
 		}
 		if ns.alive {
 			ns.m.addAlive(iter, ns.weight)
 		}
 		ns.partialIteration(iter)
+	}
+}
+
+// commitDone records the node's terminal state. The exit conditions
+// (component-wide alive total, shared iteration cap) are evaluated
+// identically by every node of a component, so a whole domain finishes
+// in the same round and its final cut carries only done nodes.
+func (ns *nodeState) commitDone(iter int) {
+	if ns.ctx.CheckpointEnabled() {
+		ns.ctx.CommitFinal(ns.commitBlob(iter))
 	}
 }
 
@@ -735,6 +793,7 @@ func (ns *nodeState) finishIteration(iter int, inMIS bool) {
 		ns.color = ns.cands[0]
 		ns.colored = true
 		ns.alive = false
+		ns.coloredAt = iter
 		ns.m.addColored(iter, ns.weight)
 		for i, w := range ns.ctx.Neighbors() {
 			ns.ctx.Send(int(w), append(ns.msgBuf(i), tagFinal, uint64(ns.color)))

@@ -70,6 +70,14 @@ type Options struct {
 	// differential tests pin that the optimized hot path reproduces the
 	// reference bit for bit.
 	refEval bool
+
+	// crashIter/crashNode inject a fault: when crashIter > 0, node
+	// crashNode's program panics at the top of iteration crashIter−1,
+	// before committing it. Test-only: the checkpoint tests use it to
+	// kill a worker mid-run and pin that the cuts recorded before the
+	// crash resume to the uninterrupted run's exact results.
+	crashIter int
+	crashNode int
 }
 
 // ComputeParams validates the instance and derives all global parameters.

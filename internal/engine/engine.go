@@ -145,6 +145,18 @@ type Config struct {
 	// ("congest", "clique", ...) so violations read in the caller's
 	// vocabulary. Empty means "engine".
 	Model string
+	// Checkpoint, when non-nil, collects consistent per-domain cuts at
+	// the round barriers in which every node committed its state (see
+	// Ctx.Commit). While attached, delivery runs inline on the round
+	// leader even on multi-shard pools — observationally identical by the
+	// worker-independence invariant, and it makes every barrier a
+	// quiescent point the leader can capture without locks.
+	Checkpoint *Checkpointer
+	// Resume, when non-nil, restores each domain from its cut in the
+	// snapshot before any node program starts: round counter, Stats,
+	// queued backlog, and per-node blobs (via Ctx.Resumed). Domains
+	// without a cut start fresh; nodes marked done are never spawned.
+	Resume *RunSnapshot
 }
 
 func (c Config) withDefaults() Config {
@@ -243,6 +255,18 @@ type Ctx struct {
 	// the delivery side in the first round that hands it a message.
 	waiting bool
 	wakeCh  chan struct{}
+
+	// Checkpoint state. commitBlob/commitRound/commitValid hold the last
+	// Ctx.Commit of this node (written by the node's goroutine, read by
+	// the round leader at the barrier — ordered by the pending-counter
+	// RMW chain, like all other node state the leader touches).
+	// commitDone marks a CommitFinal; resumeBlob is the blob handed back
+	// through Resumed on a restored run.
+	commitBlob  []byte
+	commitRound int
+	commitValid bool
+	commitDone  bool
+	resumeBlob  []byte
 }
 
 // ID returns this node's identifier.
@@ -549,6 +573,17 @@ type runner struct {
 	// them back into the population before anyone is released.
 	waiters      atomic.Int64
 	wokenByShard [][]*Ctx
+
+	// Checkpointing (nil/zero when Config.Checkpoint is unset). The
+	// staged fields hold the leader-side half of a potential cut,
+	// captured at the barrier entering stagedRound (see stageCut); the
+	// cut is finalized at the barrier leaving that round if every node
+	// committed in it. All leader-only.
+	ck           *Checkpointer
+	stagedValid  bool
+	stagedRound  int
+	stagedStats  Stats
+	stagedQueues []QueueCut
 }
 
 // skipGroup is the set of nodes sleeping until one wake round.
@@ -600,6 +635,10 @@ func (r *runner) leave() {
 // fast-forward one by one — still counted, still delivering any queued
 // backlog — with nobody woken until the earliest wake round.
 func (r *runner) completeRound() {
+	// This barrier leaves round r.round with every node parked: if the
+	// staged state is for this round and every node committed in it, the
+	// two halves form a consistent cut.
+	r.tryFinalizeCut()
 	r.active -= r.leaves.Swap(0)
 	for {
 		// Nodes scheduled to wake in the round being entered rejoin the
@@ -655,9 +694,15 @@ func (r *runner) completeRound() {
 				r.deliverRange(0, len(r.nodes), 0)
 				if woken := r.collectWoken(); len(woken) > 0 {
 					// Delivery woke message-waiters: form the new round's
-					// population from them and hand control back.
+					// population from them and hand control back. Stage the
+					// cut before anyone wakes (pure fast-forward rounds with
+					// nobody woken skip staging: no node executes in them, so
+					// no commit can reference them).
 					r.active += int64(len(woken))
 					r.pending.Store(r.active)
+					if r.ck != nil {
+						r.stageCut()
+					}
 					wakeNodes(woken)
 					return
 				}
@@ -686,6 +731,9 @@ func (r *runner) completeRound() {
 		}
 		if !r.anyQueued() {
 			// Nothing anywhere in flight: skip the delivery scan entirely.
+			if r.ck != nil {
+				r.stageCut()
+			}
 			for _, ch := range old {
 				close(ch)
 			}
@@ -694,17 +742,27 @@ func (r *runner) completeRound() {
 			}
 			return
 		}
-		if nshards == 1 {
+		if nshards == 1 || r.ck != nil {
+			// Inline delivery: the single-shard fast path, and — forced —
+			// every round of a checkpointing run, so the leader can stage
+			// the post-delivery queue state before anyone wakes. With
+			// nshards > 1 forced inline, every shard's release channel
+			// still must close.
 			r.deliverRange(0, len(r.nodes), 0)
 			woken := r.collectWoken()
 			if len(woken) > 0 {
 				r.active += int64(len(woken))
 				r.pending.Add(int64(len(woken)))
 			}
+			if r.ck != nil {
+				r.stageCut()
+			}
 			// All accounting done: wake waiters, then sleepers. Nothing
 			// shared is mutated after the first close.
 			wakeNodes(woken)
-			close(old[0])
+			for _, ch := range old {
+				close(ch)
+			}
 			if wake != nil {
 				close(wake.ch)
 			}
@@ -947,6 +1005,31 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 	// are released when it completes, keeping the live footprint at the
 	// in-flight domains rather than the whole run.
 	comps := components(n, neighborsOf)
+	// Resume validation happens up front, against the actual component
+	// structure, so a corrupt or mismatched snapshot is an error before
+	// any node program runs.
+	var resumeByRoot map[int32]*DomainCut
+	if cfg.Resume != nil {
+		compByRoot := make(map[int32]int, len(comps))
+		for ci, comp := range comps {
+			compByRoot[comp[0]] = ci
+		}
+		resumeByRoot = make(map[int32]*DomainCut, len(cfg.Resume.Cuts))
+		for i := range cfg.Resume.Cuts {
+			cut := &cfg.Resume.Cuts[i]
+			ci, ok := compByRoot[cut.Root]
+			if !ok {
+				return nil, nil, fmt.Errorf("%s: resume: snapshot domain %d is not a component root of this topology", cfg.Model, cut.Root)
+			}
+			if _, dup := resumeByRoot[cut.Root]; dup {
+				return nil, nil, fmt.Errorf("%s: resume: snapshot has two cuts for domain %d", cfg.Model, cut.Root)
+			}
+			if err := validateCut(cut, comps[ci], degreeOf, cfg); err != nil {
+				return nil, nil, err
+			}
+			resumeByRoot[cut.Root] = cut
+		}
+	}
 	runners := make([]*runner, len(comps))
 	undelivered := make([]int, len(comps))
 	slots := runtime.GOMAXPROCS(0)
@@ -965,6 +1048,13 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
+			// A resumed domain's barrier population is only its unfinished
+			// nodes; a fully finished domain (final cut) spawns nothing.
+			cut := resumeByRoot[comp[0]]
+			live := len(comp)
+			if cut != nil {
+				live = liveNodes(cut)
+			}
 			r := &runner{
 				n:      n,
 				nodes:  comp,
@@ -972,12 +1062,13 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 				cfg:    cfg,
 				ctxs:   ctxs,
 				pool:   NewPool(len(comp), shardMin),
-				active: int64(len(comp)),
+				active: int64(live),
+				ck:     cfg.Checkpoint,
 				skipAt: make(map[int]*skipGroup),
 			}
 			runners[ci] = r
 			nshards := r.pool.Shards()
-			r.pending.Store(int64(len(comp)))
+			r.pending.Store(int64(live))
 			r.releases = make([]chan struct{}, nshards)
 			for i := range r.releases {
 				r.releases[i] = make(chan struct{})
@@ -1046,11 +1137,23 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 					cursor[rd]++
 				}
 			}
+			if cut != nil {
+				r.restoreCut(cut)
+			}
+			// Seed the staged cut with the domain's start state (round 0,
+			// or the restored cut), so commits in the very first executed
+			// round finalize against a matching stage.
+			if r.ck != nil {
+				r.stageCut()
+			}
 
 			var nodes sync.WaitGroup
-			nodes.Add(len(comp))
+			nodes.Add(live)
 			for _, v := range comp {
 				ctx := ctxs[v]
+				if ctx.commitDone {
+					continue // finished in the resumed cut; never respawned
+				}
 				go func() {
 					defer nodes.Done()
 					defer ctx.r.leave()
@@ -1065,6 +1168,12 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 			nodes.Wait()
 			r.pool.Close()
 			r.stats.MergeWorkers(r.wstats)
+			// The domain-end cut: recorded once every node finished through
+			// CommitFinal, with the domain's true final Stats (the rounds
+			// in which the last nodes finished never finalize as live cuts).
+			if r.ck != nil && !sh.aborted.Load() {
+				r.finalCut()
+			}
 			// Messages queued by nodes that exited early are still delivered
 			// at later barriers; only messages left after the last node
 			// exits were truly dropped, which indicates a protocol bug.

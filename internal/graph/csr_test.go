@@ -156,10 +156,87 @@ func TestCSRCheckedUncheckedEquivalent(t *testing.T) {
 		}
 	}
 	g1, g2 := checked.Build(), mixed.Build()
-	off1, nbr1 := g1.CSR()
-	off2, nbr2 := g2.CSR()
-	if !slices.Equal(off1, off2) || !slices.Equal(nbr1, nbr2) {
+	if !g1.Equal(g2) {
 		t.Fatal("checked and mixed insertion orders built different CSR arrays")
+	}
+}
+
+// TestGraphEqual pins the exact-equality helper the snapshot round-trip
+// tests rely on: equality is canonical-layout identity, so it holds
+// across insertion orders and breaks on any node- or edge-set change.
+func TestGraphEqual(t *testing.T) {
+	g := GNP(40, 0.2, 7)
+	same, err := FromEdges(g.N(), edgesOf(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(same) || !same.Equal(g) {
+		t.Fatal("Equal false on a rebuilt identical graph")
+	}
+	if !g.Equal(g) {
+		t.Fatal("Equal not reflexive")
+	}
+	edges := edgesOf(g)
+	fewer, err := FromEdges(g.N(), edges[:len(edges)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Equal(fewer) {
+		t.Fatal("Equal true after dropping an edge")
+	}
+	wider, err := FromEdges(g.N()+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Equal(wider) {
+		t.Fatal("Equal true across different node counts")
+	}
+	var nilG *Graph
+	if nilG.Equal(g) || g.Equal(nilG) {
+		t.Fatal("Equal true against nil")
+	}
+	if !nilG.Equal(nil) {
+		t.Fatal("Equal(nil, nil) false")
+	}
+}
+
+// TestFromCSRRoundTripAndRejects pins the validated CSR constructor:
+// every generator graph round-trips through its raw arrays into an Equal
+// graph, and malformed arrays return errors instead of corrupt graphs.
+func TestFromCSRRoundTripAndRejects(t *testing.T) {
+	for _, g := range []*Graph{Path(9), Star(7), GNP(30, 0.2, 3), NewBuilder(0).Build(), NewBuilder(4).Build()} {
+		off, nbr := g.CSR()
+		got, err := FromCSR(slices.Clone(off), slices.Clone(nbr))
+		if err != nil {
+			t.Fatalf("FromCSR rejected a valid graph: %v", err)
+		}
+		if !g.Equal(got) {
+			t.Fatal("FromCSR round trip produced a different graph")
+		}
+		if got.MaxDegree() != g.MaxDegree() {
+			t.Fatalf("FromCSR MaxDegree %d != %d", got.MaxDegree(), g.MaxDegree())
+		}
+	}
+	bad := []struct {
+		name string
+		off  []int32
+		nbr  []int32
+	}{
+		{"empty-off", nil, nil},
+		{"nonzero-start", []int32{1, 1}, nil},
+		{"decreasing-off", []int32{0, 2, 1, 4}, []int32{1, 2, 0, 0}},
+		{"bad-end", []int32{0, 1}, []int32{0, 0}},
+		{"odd-arcs", []int32{0, 1, 1}, []int32{1}},
+		{"self-loop", []int32{0, 1, 2}, []int32{0, 0}},
+		{"out-of-range", []int32{0, 1, 2}, []int32{5, 0}},
+		{"unsorted-row", []int32{0, 2, 3, 5}, []int32{2, 1, 0, 0, 0}},
+		{"duplicate-arc", []int32{0, 2, 4}, []int32{1, 1, 0, 0}},
+		{"asymmetric", []int32{0, 1, 2, 2}, []int32{1, 2}},
+	}
+	for _, c := range bad {
+		if _, err := FromCSR(c.off, c.nbr); err == nil {
+			t.Fatalf("FromCSR accepted malformed input %q", c.name)
+		}
 	}
 }
 

@@ -92,6 +92,18 @@ func (g *Graph) Edges(fn func(u, v int)) {
 	}
 }
 
+// Equal reports exact graph equality: same node count and identical CSR
+// arrays. Because Build canonicalizes the layout (per-row ascending
+// arenas), two graphs are Equal iff they have the same node set and edge
+// set — this is the comparison the snapshot round-trip tests pin a
+// decoded graph against its original with.
+func (g *Graph) Equal(h *Graph) bool {
+	if g == nil || h == nil {
+		return g == h
+	}
+	return g.n == h.n && slices.Equal(g.off, h.off) && slices.Equal(g.nbr, h.nbr)
+}
+
 // SortedHas reports whether the sorted node-ID slice a contains x.
 // Together with SortedRemove it is the shared toolkit for the sorted
 // neighbor-set slices the model simulators keep per node (ascending
@@ -294,6 +306,59 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 		}
 	}
 	return b.Build(), nil
+}
+
+// FromCSR reconstructs a graph from raw CSR arrays, validating every
+// structural invariant the Builder would have established: offset-table
+// shape, per-row strict ascent (sortedness and no duplicates), target
+// range, no self-loops, and arc symmetry. Unlike Build it returns errors
+// instead of panicking — its inputs come from external data (snapshot
+// decoding), not from generators with construction-time guarantees. The
+// slices are retained by the graph and must not be modified afterwards.
+func FromCSR(off, nbr []int32) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: CSR offset table is empty")
+	}
+	n := len(off) - 1
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offset table starts at %d, not 0", off[0])
+	}
+	if int64(off[n]) != int64(len(nbr)) {
+		return nil, fmt.Errorf("graph: CSR offset table ends at %d for %d arcs", off[n], len(nbr))
+	}
+	if len(nbr)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd arc count %d (undirected graphs have 2m arcs)", len(nbr))
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: CSR offset table decreases at node %d", v)
+		}
+		row := nbr[off[v]:off[v+1]]
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
+		for i, w := range row {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", v, w, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop at node %d", v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return nil, fmt.Errorf("graph: adjacency of node %d not strictly ascending at index %d", v, i)
+			}
+		}
+	}
+	g := &Graph{n: n, m: len(nbr) / 2, maxDeg: maxDeg, off: off, nbr: nbr}
+	for v := 0; v < n; v++ {
+		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
+			if !g.HasEdge(int(w), v) {
+				return nil, fmt.Errorf("graph: arc (%d,%d) has no reverse arc", v, w)
+			}
+		}
+	}
+	return g, nil
 }
 
 // InducedSubgraph returns the subgraph induced by the given node set

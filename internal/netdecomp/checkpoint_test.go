@@ -1,0 +1,150 @@
+package netdecomp
+
+// Class-boundary checkpoint/restore of the Corollary 1.2 pipeline: the
+// crash-at-every-class sweep must reproduce the uninterrupted run's
+// colors and cost accounting exactly, the on-disk format must
+// round-trip byte for byte, and corrupt state must be refused.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+)
+
+func requireDecompEq(t *testing.T, label string, got, want *DecompResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Colors, want.Colors) {
+		t.Fatalf("%s: colors diverged", label)
+	}
+	if got.ChargedRounds != want.ChargedRounds {
+		t.Fatalf("%s: ChargedRounds %d, want %d", label, got.ChargedRounds, want.ChargedRounds)
+	}
+	if !reflect.DeepEqual(got.ClassRounds, want.ClassRounds) || !reflect.DeepEqual(got.ClassStats, want.ClassStats) {
+		t.Fatalf("%s: per-class accounting diverged", label)
+	}
+	if got.Messages != want.Messages || got.Words != want.Words {
+		t.Fatalf("%s: traffic (%d,%d), want (%d,%d)", label, got.Messages, got.Words, want.Messages, want.Words)
+	}
+}
+
+// TestPipelineCheckpointSweep crashes the pipeline at every class
+// boundary and resumes each time from the recorded checkpoint.
+func TestPipelineCheckpointSweep(t *testing.T) {
+	inst := graph.DeltaPlusOneInstance(graph.Grid2D(6, 6))
+	want, err := ListColorDecomposed(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Decomp.Colors < 2 {
+		t.Fatalf("instance too easy: %d color class(es)", want.Decomp.Colors)
+	}
+
+	var cps []*PipelineCheckpoint
+	got, err := ListColorDecomposedResumable(inst, core.Options{},
+		func(cp *PipelineCheckpoint) { cps = append(cps, cp) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDecompEq(t, "checkpointing perturbed the run", got, want)
+	if len(cps) != want.Decomp.Colors {
+		t.Fatalf("recorded %d checkpoints, want one per class (%d)", len(cps), want.Decomp.Colors)
+	}
+
+	for _, cp := range cps {
+		resumed, err := ListColorDecomposedResumable(inst, core.Options{}, nil, cp)
+		if err != nil {
+			t.Fatalf("resume at class %d: %v", cp.Class, err)
+		}
+		requireDecompEq(t, "resume", resumed, want)
+	}
+}
+
+// TestPipelineCheckpointFileRoundTrip pins the on-disk format and that
+// a decoded file resumes identically.
+func TestPipelineCheckpointFileRoundTrip(t *testing.T) {
+	inst := graph.DeltaPlusOneInstance(graph.Grid2D(6, 6))
+	var cps []*PipelineCheckpoint
+	want, err := ListColorDecomposedResumable(inst, core.Options{},
+		func(cp *PipelineCheckpoint) { cps = append(cps, cp) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := cps[len(cps)/2]
+
+	raw := EncodeCheckpoint(&Checkpoint{Inst: inst, Opts: core.Options{}, State: mid})
+	cp, err := DecodeCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Inst.G.Equal(inst.G) || cp.Inst.C != inst.C || !reflect.DeepEqual(cp.Inst.Lists, inst.Lists) {
+		t.Fatal("decoded checkpoint instance differs from the original")
+	}
+	if !reflect.DeepEqual(cp.State, mid) {
+		t.Fatal("decoded pipeline state differs from the original")
+	}
+	if again := EncodeCheckpoint(cp); !bytes.Equal(again, raw) {
+		t.Fatal("decode followed by encode did not reproduce the bytes")
+	}
+
+	resumed, err := ListColorDecomposedResumable(cp.Inst, cp.Opts, nil, cp.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDecompEq(t, "resume from decoded file", resumed, want)
+}
+
+// TestPipelineRestoreRejects pins that inconsistent checkpoint state is
+// refused before any class run starts.
+func TestPipelineRestoreRejects(t *testing.T) {
+	inst := graph.DeltaPlusOneInstance(graph.Grid2D(5, 5))
+	var cps []*PipelineCheckpoint
+	if _, err := ListColorDecomposedResumable(inst, core.Options{},
+		func(cp *PipelineCheckpoint) { cps = append(cps, cp) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Skip("pipeline finished in one class")
+	}
+
+	warps := []struct {
+		name string
+		warp func(cp *PipelineCheckpoint)
+	}{
+		{"class-out-of-range", func(cp *PipelineCheckpoint) { cp.Class = 99 }},
+		{"wrong-node-count", func(cp *PipelineCheckpoint) { cp.Colors = cp.Colors[:1] }},
+		{"colored-contradicts-class", func(cp *PipelineCheckpoint) {
+			for v := range cp.Colored {
+				if !cp.Colored[v] {
+					cp.Colored[v] = true
+					return
+				}
+			}
+		}},
+		{"foreign-color-in-list", func(cp *PipelineCheckpoint) {
+			for v := range cp.Colored {
+				if !cp.Colored[v] {
+					cp.Lists[v] = append([]uint32{inst.C - 1}, cp.Lists[v]...)
+					return
+				}
+			}
+		}},
+		{"missing-class-record", func(cp *PipelineCheckpoint) { cp.ClassRounds = cp.ClassRounds[:0] }},
+	}
+	for _, w := range warps {
+		t.Run(w.name, func(t *testing.T) {
+			var cps2 []*PipelineCheckpoint
+			if _, err := ListColorDecomposedResumable(inst, core.Options{},
+				func(cp *PipelineCheckpoint) { cps2 = append(cps2, cp) }, nil); err != nil {
+				t.Fatal(err)
+			}
+			cp := cps2[0]
+			w.warp(cp)
+			if _, err := ListColorDecomposedResumable(inst, core.Options{}, nil, cp); err == nil {
+				t.Fatal("corrupt checkpoint was accepted")
+			}
+		})
+	}
+}

@@ -50,7 +50,7 @@ type DecompResult struct {
 // are copied at the boundary; the caller's inst.Lists are never aliased
 // into a run.
 func ListColorDecomposed(inst *graph.Instance, opts core.Options) (*DecompResult, error) {
-	return listColorDecomposed(inst, opts, true)
+	return listColorDecomposed(inst, opts, true, nil, nil)
 }
 
 // ListColorDecomposedSeq is the pre-batching reference pipeline: one
@@ -60,10 +60,14 @@ func ListColorDecomposed(inst *graph.Instance, opts core.Options) (*DecompResult
 // -decomp` and as a differential oracle in tests; new callers want
 // ListColorDecomposed.
 func ListColorDecomposedSeq(inst *graph.Instance, opts core.Options) (*DecompResult, error) {
-	return listColorDecomposed(inst, opts, false)
+	return listColorDecomposed(inst, opts, false, nil, nil)
 }
 
-func listColorDecomposed(inst *graph.Instance, opts core.Options, batched bool) (*DecompResult, error) {
+// listColorDecomposed runs the pipeline. onCk, when non-nil, receives a
+// PipelineCheckpoint after every class boundary (class run plus the
+// between-class exchange); resume, when non-nil, restores the pipeline
+// at such a boundary instead of starting at class 1 (see checkpoint.go).
+func listColorDecomposed(inst *graph.Instance, opts core.Options, batched bool, onCk func(*PipelineCheckpoint), resume *PipelineCheckpoint) (*DecompResult, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,7 +95,18 @@ func listColorDecomposed(inst *graph.Instance, opts core.Options, batched bool) 
 		kappa = 1
 	}
 
-	for class := 1; class <= d.Colors; class++ {
+	start := 1
+	if resume != nil {
+		// The decomposition is rebuilt deterministically from the graph, so
+		// the checkpoint carries only the pipeline's own progress: the
+		// already-charged accounting and the post-exchange coloring state.
+		if err := restorePipeline(inst, d, resume, colors, colored, lists, res); err != nil {
+			return nil, err
+		}
+		start = resume.Class + 1
+	}
+
+	for class := start; class <= d.Colors; class++ {
 		var st congest.Stats
 		if batched {
 			st, err = runClassBatched(inst, d, class, lists, colors, colored, opts)
@@ -122,6 +137,9 @@ func listColorDecomposed(inst *graph.Instance, opts core.Options, batched bool) 
 					}
 				}
 			}
+		}
+		if onCk != nil {
+			onCk(capturePipeline(class, colors, colored, lists, res))
 		}
 	}
 	for v := 0; v < n; v++ {

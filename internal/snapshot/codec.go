@@ -1,0 +1,242 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+
+	"smallbandwidth/internal/engine"
+	"smallbandwidth/internal/graph"
+)
+
+// Codecs of the format-v1 sections. Every codec is canonical — fixed
+// field order, no map iteration, minimal-length varints — so that
+// decode followed by encode reproduces the bytes exactly.
+
+// EncodeGraph writes the SecGraph payload: node count, per-node degrees
+// (the offset-table deltas), then the arc arena as per-row ascending
+// target deltas. A straight dump of the CSR arenas, delta-coded because
+// rows are sorted.
+func EncodeGraph(e *Enc, g *graph.Graph) {
+	off, nbr := g.CSR()
+	n := g.N()
+	e.Uvarint(uint64(n))
+	for v := 0; v < n; v++ {
+		e.Uvarint(uint64(off[v+1] - off[v]))
+	}
+	for v := 0; v < n; v++ {
+		prev := int64(-1)
+		for _, w := range nbr[off[v]:off[v+1]] {
+			e.Uvarint(uint64(int64(w) - prev))
+			prev = int64(w)
+		}
+	}
+}
+
+// DecodeGraph reads a SecGraph payload and rebuilds the graph through
+// the validating CSR constructor, so a corrupt section yields an error,
+// never a structurally broken graph.
+func DecodeGraph(d *Dec) (*graph.Graph, error) {
+	n := d.Count(1)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("snapshot: graph node count %d exceeds the int32 node space", n)
+	}
+	off := make([]int32, n+1)
+	var arcs uint64
+	for v := 0; v < n; v++ {
+		deg := d.Uvarint()
+		arcs += deg
+		if d.err != nil || arcs > uint64(d.Remaining()) || arcs > math.MaxInt32 {
+			return nil, d.failf("graph degree stream invalid at node %d", v)
+		}
+		off[v+1] = off[v] + int32(deg)
+	}
+	nbr := make([]int32, arcs)
+	for v := 0; v < n; v++ {
+		prev := int64(-1)
+		for i := off[v]; i < off[v+1]; i++ {
+			delta := d.Uvarint()
+			prev += int64(delta)
+			if d.err != nil || delta == 0 || prev >= int64(n) {
+				return nil, d.failf("graph arc stream invalid at node %d", v)
+			}
+			nbr[i] = int32(prev)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return graph.FromCSR(off, nbr)
+}
+
+// EncodeLists writes the SecLists payload: the color-space size and the
+// per-node lists (sorted strictly ascending, so delta-coded).
+func EncodeLists(e *Enc, c uint32, lists [][]uint32) {
+	e.Uvarint(uint64(c))
+	e.Uvarint(uint64(len(lists)))
+	for _, list := range lists {
+		e.Uvarint(uint64(len(list)))
+		prev := int64(-1)
+		for _, col := range list {
+			e.Uvarint(uint64(int64(col) - prev))
+			prev = int64(col)
+		}
+	}
+}
+
+// DecodeLists reads a SecLists payload. Structural checks only (sorted,
+// in range); semantic validation against the graph is the caller's
+// Instance.Validate.
+func DecodeLists(d *Dec) (uint32, [][]uint32, error) {
+	c := d.Uvarint()
+	if c > math.MaxUint32 {
+		return 0, nil, d.failf("color space %d exceeds uint32", c)
+	}
+	n := d.Count(1)
+	lists := make([][]uint32, n)
+	for v := range lists {
+		k := d.Count(1)
+		if d.err != nil {
+			return 0, nil, d.err
+		}
+		list := make([]uint32, k)
+		prev := int64(-1)
+		for i := range list {
+			delta := d.Uvarint()
+			prev += int64(delta)
+			if d.err != nil || delta == 0 || prev >= int64(c) {
+				return 0, nil, d.failf("list stream invalid at node %d", v)
+			}
+			list[i] = uint32(prev)
+		}
+		lists[v] = list
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return uint32(c), lists, nil
+}
+
+// EncodeRunSnapshot writes the SecEngine payload: the engine's
+// consistent cut, domain by domain. Message payload words are
+// fixed-width (they are protocol data, usually near the bandwidth cap,
+// where varints would pay without saving).
+func EncodeRunSnapshot(e *Enc, s *engine.RunSnapshot) {
+	e.Uvarint(uint64(len(s.Cuts)))
+	for i := range s.Cuts {
+		cut := &s.Cuts[i]
+		e.Uvarint(uint64(cut.Root))
+		e.Uvarint(uint64(cut.Round))
+		e.Bool(cut.Final)
+		e.Uvarint(uint64(cut.Stats.Rounds))
+		e.Uvarint(uint64(cut.Stats.Messages))
+		e.Uvarint(uint64(cut.Stats.Words))
+		e.Uvarint(uint64(cut.Stats.MaxMessageWords))
+		e.Uvarint(uint64(len(cut.Nodes)))
+		for j := range cut.Nodes {
+			nc := &cut.Nodes[j]
+			e.Uvarint(uint64(nc.ID))
+			e.Bool(nc.Done)
+			e.Blob(nc.Blob)
+		}
+		e.Uvarint(uint64(len(cut.Queues)))
+		for j := range cut.Queues {
+			qc := &cut.Queues[j]
+			e.Uvarint(uint64(qc.Sender))
+			e.Uvarint(uint64(qc.Slot))
+			e.Uvarint(uint64(len(qc.Msgs)))
+			for _, m := range qc.Msgs {
+				e.Uvarint(uint64(len(m)))
+				for _, w := range m {
+					e.U64(w)
+				}
+			}
+		}
+	}
+}
+
+// DecodeRunSnapshot reads a SecEngine payload. Structural checks only
+// (bounded counts, int32 ID ranges); the engine's resume validation
+// checks the cut against the actual topology.
+func DecodeRunSnapshot(d *Dec) (*engine.RunSnapshot, error) {
+	// Zero counts decode to nil slices (not empty ones) so that decoding
+	// re-encodes — and DeepEqual-compares — identically to the original.
+	nc := d.Count(8)
+	s := &engine.RunSnapshot{}
+	if nc > 0 {
+		s.Cuts = make([]engine.DomainCut, nc)
+	}
+	for i := range s.Cuts {
+		cut := &s.Cuts[i]
+		root := d.Uvarint()
+		round := d.Uvarint()
+		cut.Final = d.Bool()
+		rounds := d.Uvarint()
+		msgs := d.Uvarint()
+		words := d.Uvarint()
+		maxw := d.Uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if root > math.MaxInt32 || round > math.MaxInt32 || rounds > math.MaxInt32 ||
+			msgs > math.MaxInt64 || words > math.MaxInt64 || maxw > math.MaxInt32 {
+			return nil, d.failf("cut %d header fields out of range", i)
+		}
+		cut.Root = int32(root)
+		cut.Round = int(round)
+		cut.Stats = engine.Stats{Rounds: int(rounds), Messages: int64(msgs), Words: int64(words), MaxMessageWords: int(maxw)}
+		nodes := d.Count(3)
+		if nodes > 0 {
+			cut.Nodes = make([]engine.NodeCut, nodes)
+		}
+		for j := range cut.Nodes {
+			id := d.Uvarint()
+			if id > math.MaxInt32 {
+				return nil, d.failf("cut %d node %d ID out of range", i, j)
+			}
+			cut.Nodes[j] = engine.NodeCut{ID: int32(id), Done: d.Bool(), Blob: d.Blob()}
+			if d.err != nil {
+				return nil, d.err
+			}
+		}
+		queues := d.Count(3)
+		if queues > 0 {
+			cut.Queues = make([]engine.QueueCut, queues)
+		}
+		for j := range cut.Queues {
+			qc := &cut.Queues[j]
+			sender := d.Uvarint()
+			slot := d.Uvarint()
+			if sender > math.MaxInt32 || slot > math.MaxInt32 {
+				return nil, d.failf("cut %d queue %d endpoint out of range", i, j)
+			}
+			qc.Sender = int32(sender)
+			qc.Slot = int32(slot)
+			nm := d.Count(2)
+			if d.err != nil {
+				return nil, d.err
+			}
+			qc.Msgs = make([]engine.Message, nm)
+			for mi := range qc.Msgs {
+				words := d.Count(8)
+				if d.err != nil {
+					return nil, d.err
+				}
+				m := make(engine.Message, words)
+				for wi := range m {
+					m[wi] = d.U64()
+				}
+				qc.Msgs[mi] = m
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return s, nil
+}
+
+// failf records (if first) and returns a decoding error.
+func (d *Dec) failf(format string, args ...any) error {
+	d.fail(format, args...)
+	return d.err
+}

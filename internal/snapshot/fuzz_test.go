@@ -1,0 +1,65 @@
+package snapshot_test
+
+// FuzzSnapshotDecode pins the decoding discipline of the whole snapshot
+// stack: arbitrary bytes — truncated, bit-flipped, version-bumped, or
+// adversarially crafted — must produce an error or a valid value, never
+// a panic and never an allocation the input size cannot justify.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/netdecomp"
+	"smallbandwidth/internal/snapshot"
+)
+
+func FuzzSnapshotDecode(f *testing.F) {
+	if raw, err := os.ReadFile(goldenPath()); err == nil {
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2])
+		f.Add(raw[:len("SBWSNAP1")+8])
+		mut := bytes.Clone(raw)
+		mut[len(mut)/3] ^= 0xff
+		f.Add(mut)
+		bumped := bytes.Clone(raw)
+		bumped[len("SBWSNAP1")] = 2 // unknown future version
+		f.Add(bumped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SBWSNAP1"))
+	f.Add([]byte("SBWSNAP1\x01\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return
+		}
+		// Container layer: a successfully decoded container re-encodes to
+		// exactly the input (the format has no redundancy to normalize).
+		if c, err := snapshot.Decode(b); err == nil {
+			if !bytes.Equal(snapshot.Encode(c), b) {
+				t.Fatal("valid container did not re-encode to its input")
+			}
+		}
+		// Full checkpoint decoders (container + section codecs + semantic
+		// validation). Their outputs are exercised but not asserted: a
+		// fuzz-crafted valid file may order sections non-canonically.
+		if cp, err := core.DecodeCheckpoint(b); err == nil {
+			_ = core.EncodeCheckpoint(cp)
+		}
+		if cp, err := netdecomp.DecodeCheckpoint(b); err == nil {
+			_ = netdecomp.EncodeCheckpoint(cp)
+		}
+		// Raw section codecs on the bare bytes.
+		if g, err := snapshot.DecodeGraph(snapshot.NewDec(b)); err == nil && g.N() >= 0 {
+			_ = g.MaxDegree()
+		}
+		if _, lists, err := snapshot.DecodeLists(snapshot.NewDec(b)); err == nil {
+			_ = lists
+		}
+		if s, err := snapshot.DecodeRunSnapshot(snapshot.NewDec(b)); err == nil {
+			_ = s
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package snapshot_test
+
+// Container-level tests for the versioned snapshot format, plus the
+// golden v1 file: a checked-in mid-run checkpoint that every future
+// build must keep decoding, resuming, and re-encoding byte for byte.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/snapshot"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot files")
+
+func sampleContainer() *snapshot.Container {
+	return &snapshot.Container{
+		Version: snapshot.Version,
+		Sections: []snapshot.Section{
+			{ID: snapshot.SecMeta, Data: []byte("meta")},
+			{ID: snapshot.SecGraph, Data: []byte{1, 2, 3, 4, 5}},
+			{ID: snapshot.SecRNG, Data: nil},
+		},
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	c := sampleContainer()
+	raw := snapshot.Encode(c)
+	got, err := snapshot.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != c.Version || len(got.Sections) != len(c.Sections) {
+		t.Fatalf("decoded container shape differs: %+v", got)
+	}
+	for i := range c.Sections {
+		if got.Sections[i].ID != c.Sections[i].ID || !bytes.Equal(got.Sections[i].Data, c.Sections[i].Data) {
+			t.Fatalf("section %d differs", i)
+		}
+	}
+	if !bytes.Equal(snapshot.Encode(got), raw) {
+		t.Fatal("decode followed by encode did not reproduce the bytes")
+	}
+	if got.Find(snapshot.SecGraph) == nil || got.Find(snapshot.SecEngine) != nil {
+		t.Fatal("Find misreported section presence")
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	raw := snapshot.Encode(sampleContainer())
+	warps := []struct {
+		name string
+		warp func(b []byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short-header", func(b []byte) []byte { return b[:10] }},
+		{"bad-magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"future-version", func(b []byte) []byte { b[8] = 99; return b }},
+		{"section-count-bomb", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1<<30)
+			return b
+		}},
+		{"truncated-table", func(b []byte) []byte { return b[:len("SBWSNAP1")+8+5] }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing-payload", func(b []byte) []byte { return append(b, 0xaa) }},
+		{"duplicate-section", func(b []byte) []byte {
+			// Rewrite section 2's ID to collide with section 0's.
+			binary.LittleEndian.PutUint32(b[len("SBWSNAP1")+8+24:], snapshot.SecMeta)
+			return b
+		}},
+		{"crc-flip", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }},
+	}
+	for _, w := range warps {
+		t.Run(w.name, func(t *testing.T) {
+			if _, err := snapshot.Decode(w.warp(bytes.Clone(raw))); err == nil {
+				t.Fatal("corrupt container was accepted")
+			}
+		})
+	}
+}
+
+func TestDecPrimitives(t *testing.T) {
+	var e snapshot.Enc
+	e.Uvarint(300)
+	e.Varint(-7)
+	e.U64(0xdeadbeef)
+	e.Bool(true)
+	e.Blob([]byte("abc"))
+	d := snapshot.NewDec(e.Bytes())
+	if d.Uvarint() != 300 || d.Varint() != -7 || d.U64() != 0xdeadbeef || !d.Bool() || string(d.Blob()) != "abc" {
+		t.Fatal("primitive round-trip failed")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trailing bytes are an error: canonical streams are consumed exactly.
+	d = snapshot.NewDec(append(e.Bytes(), 0))
+	d.Uvarint()
+	d.Varint()
+	d.U64()
+	d.Bool()
+	d.Blob()
+	if err := d.Close(); err == nil {
+		t.Fatal("trailing byte was accepted")
+	}
+
+	// The count guard refuses counts the input cannot hold, before any
+	// allocation sized by them.
+	var bomb snapshot.Enc
+	bomb.Uvarint(1 << 40)
+	d = snapshot.NewDec(bomb.Bytes())
+	if d.Count(8) != 0 || d.Err() == nil {
+		t.Fatal("count bomb was accepted")
+	}
+
+	// Bool bytes other than 0/1 are malformed.
+	d = snapshot.NewDec([]byte{2})
+	if d.Bool(); d.Err() == nil {
+		t.Fatal("bool byte 2 was accepted")
+	}
+
+	// The error is sticky: every later read returns zero values.
+	if d.Uvarint() != 0 || d.U64() != 0 || d.Blob() != nil {
+		t.Fatal("reads after a decoding error returned data")
+	}
+}
+
+// goldenPath is the checked-in format-v1 checkpoint.
+func goldenPath() string { return filepath.Join("testdata", "golden_v1.snap") }
+
+// makeGoldenCheckpoint reproduces the golden file's content: a mid-run
+// cut of a small deterministic Theorem 1.1 run.
+func makeGoldenCheckpoint(t *testing.T) *core.Checkpoint {
+	t.Helper()
+	inst := graph.DeltaPlusOneInstance(graph.Grid2D(3, 4))
+	ck := &congest.Checkpointer{KeepAll: true}
+	if _, err := core.ListColorResumable(inst, core.Options{}, ck, nil); err != nil {
+		t.Fatal(err)
+	}
+	rounds := ck.CutRounds()
+	if len(rounds) < 2 {
+		t.Fatalf("golden run recorded only %d cuts", len(rounds))
+	}
+	return &core.Checkpoint{Inst: inst, Opts: core.Options{}, Snap: ck.At(rounds[len(rounds)/2])}
+}
+
+// TestGoldenV1 pins format v1: the checked-in snapshot must decode,
+// resume to a verified coloring, and re-encode byte for byte. Run with
+// -update to regenerate the file after an intentional format change
+// (which must also bump snapshot.Version).
+func TestGoldenV1(t *testing.T) {
+	if *update {
+		raw := core.EncodeCheckpoint(makeGoldenCheckpoint(t))
+		if err := os.WriteFile(goldenPath(), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("golden file missing (generate with -update): %v", err)
+	}
+
+	c, err := snapshot.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != snapshot.Version {
+		t.Fatalf("golden version %d, build reads %d", c.Version, snapshot.Version)
+	}
+	for _, id := range []uint32{snapshot.SecMeta, snapshot.SecGraph, snapshot.SecLists, snapshot.SecEngine, snapshot.SecRNG} {
+		if c.Find(id) == nil {
+			t.Fatalf("golden snapshot lacks section %d", id)
+		}
+	}
+
+	cp, err := core.DecodeCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := core.EncodeCheckpoint(cp); !bytes.Equal(again, raw) {
+		t.Fatal("golden snapshot did not re-encode byte for byte")
+	}
+
+	res, err := core.ListColorFromCheckpoint(cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("golden resume did not finish the coloring")
+	}
+	if err := cp.Inst.VerifyColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	// The golden content is reproducible from source: a fresh run of the
+	// same instance produces the identical file.
+	if fresh := core.EncodeCheckpoint(makeGoldenCheckpoint(t)); !bytes.Equal(fresh, raw) {
+		t.Fatal("a fresh run no longer reproduces the golden snapshot; if the protocol intentionally changed, regenerate with -update")
+	}
+}

@@ -1,0 +1,100 @@
+package smallbandwidth
+
+// Conformance coverage for internal/mis, driven by the same seeded
+// instance table as the model suite. Lemma 2.1 derives an MIS by
+// scanning the classes of a proper coloring — one round per class in a
+// distributed execution — so the construction composed with any Color*
+// entry point must (a) yield a valid MIS, (b) cost at most C scan
+// rounds on a C-color instance, and (c) respect the n/(Δ+1) size floor
+// every MIS on a bounded-degree graph satisfies.
+
+import (
+	"reflect"
+	"testing"
+
+	"smallbandwidth/internal/mis"
+)
+
+// scanRounds counts the color classes the Lemma 2.1 scan actually pays
+// for: the construction can stop after the highest color in use.
+func scanRounds(colors []uint64) uint64 {
+	var max uint64
+	for _, c := range colors {
+		if c+1 > max {
+			max = c + 1
+		}
+	}
+	return max
+}
+
+// TestMISFromColoringConformance feeds every table instance's CONGEST
+// coloring into the Lemma 2.1 construction and checks validity and the
+// theorem's resource bounds.
+func TestMISFromColoringConformance(t *testing.T) {
+	for _, c := range conformanceTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			res, err := ColorCONGEST(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colors := make([]uint64, len(res.Colors))
+			for v, col := range res.Colors {
+				colors[v] = uint64(col)
+			}
+
+			set := mis.FromColoring(c.g, colors, uint64(inst.C))
+			if err := mis.Verify(c.g, set); err != nil {
+				t.Fatal(err)
+			}
+			if r := scanRounds(colors); r > uint64(inst.C) {
+				t.Fatalf("scan needs %d rounds, color space allows at most %d", r, inst.C)
+			}
+
+			size := 0
+			for _, in := range set {
+				if in {
+					size++
+				}
+			}
+			if floor := c.g.N() / (c.g.MaxDegree() + 1); size < floor {
+				t.Fatalf("MIS size %d below the n/(Δ+1) floor %d", size, floor)
+			}
+		})
+	}
+}
+
+// TestMISDeterministicInSeed pins both constructions as pure functions
+// of their inputs across the whole table: the Lemma 2.1 scan of a fixed
+// coloring and Luby's algorithm under a fixed seed must reproduce the
+// same set on every invocation, and Luby must stay valid across seeds.
+func TestMISDeterministicInSeed(t *testing.T) {
+	for _, c := range conformanceTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			res, err := ColorCONGEST(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colors := make([]uint64, len(res.Colors))
+			for v, col := range res.Colors {
+				colors[v] = uint64(col)
+			}
+			if a, b := mis.FromColoring(c.g, colors, uint64(inst.C)), mis.FromColoring(c.g, colors, uint64(inst.C)); !reflect.DeepEqual(a, b) {
+				t.Fatal("FromColoring is not deterministic for a fixed coloring")
+			}
+
+			for seed := uint64(1); seed <= 3; seed++ {
+				a, b := mis.Luby(c.g, seed), mis.Luby(c.g, seed)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("Luby seed %d is not deterministic", seed)
+				}
+				if err := mis.Verify(c.g, a); err != nil {
+					t.Fatalf("Luby seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

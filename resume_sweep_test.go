@@ -1,0 +1,210 @@
+package smallbandwidth
+
+// The crash-at-every-round differential tier. A checkpointed run records
+// a consistent cut at every commit barrier; this suite discards the live
+// run at each cut in turn, resumes from the recorded snapshot in fresh
+// state, and requires the finished run to be bit-identical to the
+// uninterrupted one — Colors, Stats, per-iteration telemetry for the
+// Theorem 1.1 CONGEST algorithm, and Colors/ChargedRounds/per-class
+// accounting for the Corollary 1.2 pipeline. Resumes execute at one
+// worker and several, so the tier also pins that snapshots are
+// independent of the worker count on both sides of the crash.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/engine"
+	"smallbandwidth/internal/netdecomp"
+)
+
+// disconnectedGraph is a path plus a cycle in one graph: components run
+// as separate engine domains, so its snapshots carry one cut per domain
+// and the resume path must stitch several restored components together.
+func disconnectedGraph(t *testing.T) *Graph {
+	t.Helper()
+	var edges [][2]int
+	for v := 0; v < 6; v++ {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	for v := 7; v < 12; v++ {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	edges = append(edges, [2]int{12, 7})
+	g, err := FromEdges(13, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// resumeSweepTable is the conformance table plus the disconnected union.
+// Short mode keeps a curated subset covering a long path (many cuts), a
+// dense random graph, and the multi-domain case.
+func resumeSweepTable(t *testing.T) []conformanceCase {
+	t.Helper()
+	disc := conformanceCase{name: "disconnected", g: disconnectedGraph(t)}
+	if testing.Short() {
+		return []conformanceCase{
+			{name: "path33", g: Path(33)},
+			{name: "gnp28", g: GNP(28, 0.15, 7)},
+			disc,
+		}
+	}
+	return append(conformanceTable(), disc)
+}
+
+// resumeShardCounts are the worker counts every resume is replayed at.
+func resumeShardCounts() []int {
+	if testing.Short() {
+		return []int{3}
+	}
+	return []int{1, 3}
+}
+
+// requireRunEq demands bitwise equality of everything a Theorem 1.1 run
+// reports (potentials excluded: resumable runs reject TrackPotentials).
+func requireRunEq(t *testing.T, label string, got, want *CONGESTResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Colors, want.Colors) {
+		t.Fatalf("%s: colors diverged", label)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	if got.Iterations != want.Iterations || got.Done != want.Done {
+		t.Fatalf("%s: iterations/done (%d,%v), want (%d,%v)",
+			label, got.Iterations, got.Done, want.Iterations, want.Done)
+	}
+	if !reflect.DeepEqual(got.Colored, want.Colored) || !reflect.DeepEqual(got.AliveAt, want.AliveAt) {
+		t.Fatalf("%s: per-iteration telemetry diverged", label)
+	}
+}
+
+// requireDecompRunEq is the Corollary 1.2 counterpart: colors plus the
+// full cost accounting must match bit for bit.
+func requireDecompRunEq(t *testing.T, label string, got, want *DecompResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Colors, want.Colors) {
+		t.Fatalf("%s: colors diverged", label)
+	}
+	if got.ChargedRounds != want.ChargedRounds {
+		t.Fatalf("%s: ChargedRounds %d, want %d", label, got.ChargedRounds, want.ChargedRounds)
+	}
+	if !reflect.DeepEqual(got.ClassRounds, want.ClassRounds) || !reflect.DeepEqual(got.ClassStats, want.ClassStats) {
+		t.Fatalf("%s: per-class accounting diverged", label)
+	}
+	if got.Messages != want.Messages || got.Words != want.Words {
+		t.Fatalf("%s: traffic (%d,%d), want (%d,%d)",
+			label, got.Messages, got.Words, want.Messages, want.Words)
+	}
+}
+
+// TestResumeSweepCONGEST crashes a Theorem 1.1 run at every recorded
+// round barrier and resumes from the snapshot, at one worker and
+// several, demanding a bit-identical final report each time.
+func TestResumeSweepCONGEST(t *testing.T) {
+	for _, c := range resumeSweepTable(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			want, err := ColorCONGEST(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			engine.SetForceShards(1)
+			ck := &congest.Checkpointer{KeepAll: true}
+			rec, err := core.ListColorResumable(inst, CONGESTOptions{}, ck, nil)
+			engine.SetForceShards(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireRunEq(t, "recording checkpoints perturbed the run", rec, want)
+
+			rounds := ck.CutRounds()
+			if len(rounds) == 0 {
+				t.Fatal("run recorded no cuts")
+			}
+			for _, shards := range resumeShardCounts() {
+				for _, k := range rounds {
+					engine.SetForceShards(shards)
+					got, err := core.ListColorResumable(inst, CONGESTOptions{}, nil, ck.At(k))
+					engine.SetForceShards(0)
+					if err != nil {
+						t.Fatalf("resume at round %d with %d workers: %v", k, shards, err)
+					}
+					requireRunEq(t, fmt.Sprintf("resume at round %d with %d workers", k, shards), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeSweepDecomposed is the same sweep for the Corollary 1.2
+// pipeline, which checkpoints at class boundaries.
+func TestResumeSweepDecomposed(t *testing.T) {
+	for _, c := range resumeSweepTable(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			want, err := ColorDecomposed(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var cps []*netdecomp.PipelineCheckpoint
+			rec, err := netdecomp.ListColorDecomposedResumable(inst, CONGESTOptions{},
+				func(cp *netdecomp.PipelineCheckpoint) { cps = append(cps, cp) }, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireDecompRunEq(t, "recording checkpoints perturbed the run", rec, want)
+			if len(cps) != want.Decomp.Colors {
+				t.Fatalf("recorded %d checkpoints, want one per class (%d)", len(cps), want.Decomp.Colors)
+			}
+
+			for _, shards := range resumeShardCounts() {
+				for _, cp := range cps {
+					engine.SetForceShards(shards)
+					got, err := netdecomp.ListColorDecomposedResumable(inst, CONGESTOptions{}, nil, cp)
+					engine.SetForceShards(0)
+					if err != nil {
+						t.Fatalf("resume at class %d with %d workers: %v", cp.Class, shards, err)
+					}
+					requireDecompRunEq(t, fmt.Sprintf("resume at class %d with %d workers", cp.Class, shards), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeSweepSnapshotsShardIndependent records the cut sequence at
+// one worker and at several and demands the snapshots themselves — not
+// just the finished runs — be identical, so a file written by a
+// single-threaded recorder restores under any worker count.
+func TestResumeSweepSnapshotsShardIndependent(t *testing.T) {
+	inst := buildInstance(t, conformanceCase{name: "gnp28", g: GNP(28, 0.15, 7)})
+
+	record := func(shards int) *congest.Checkpointer {
+		engine.SetForceShards(shards)
+		defer engine.SetForceShards(0)
+		ck := &congest.Checkpointer{KeepAll: true}
+		if _, err := core.ListColorResumable(inst, CONGESTOptions{}, ck, nil); err != nil {
+			t.Fatal(err)
+		}
+		return ck
+	}
+	one, many := record(1), record(4)
+	if !reflect.DeepEqual(one.CutRounds(), many.CutRounds()) {
+		t.Fatalf("cut rounds differ: 1 worker %v, 4 workers %v", one.CutRounds(), many.CutRounds())
+	}
+	for _, k := range one.CutRounds() {
+		if !reflect.DeepEqual(one.At(k), many.At(k)) {
+			t.Fatalf("snapshot at round %d differs between 1 and 4 workers", k)
+		}
+	}
+}
