@@ -225,6 +225,7 @@ func runResume(file string) {
 	} else if cp, derr := netdecomp.DecodeCheckpoint(raw); derr == nil {
 		res, err := netdecomp.ListColorDecomposedResumable(cp.Inst, cp.Opts, nil, cp.State)
 		fail(err)
+		fail(cp.Inst.VerifyColoring(res.Colors))
 		fmt.Printf("resumed Corollary 1.2: chargedRounds=%d classes=%d messages=%d\n",
 			res.ChargedRounds, res.Decomp.Colors, res.Messages)
 	} else {

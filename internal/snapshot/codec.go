@@ -44,8 +44,16 @@ func DecodeGraph(d *Dec) (*graph.Graph, error) {
 	var arcs uint64
 	for v := 0; v < n; v++ {
 		deg := d.Uvarint()
+		// Bound deg before accumulating: every arc costs at least one
+		// input byte, so a degree beyond Remaining() is invalid — and the
+		// bound keeps arcs += deg from wrapping around 2^64, which would
+		// let a hostile stream slip past the guards below with a tiny
+		// wrapped total and panic the arc-fill loop.
+		if d.err != nil || deg > uint64(d.Remaining()) {
+			return nil, d.failf("graph degree stream invalid at node %d", v)
+		}
 		arcs += deg
-		if d.err != nil || arcs > uint64(d.Remaining()) || arcs > math.MaxInt32 {
+		if arcs > uint64(d.Remaining()) || arcs > math.MaxInt32 {
 			return nil, d.failf("graph degree stream invalid at node %d", v)
 		}
 		off[v+1] = off[v] + int32(deg)

@@ -30,6 +30,18 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("SBWSNAP1"))
 	f.Add([]byte("SBWSNAP1\x01\x00\x00\x00\x00\x00\x00\x00"))
+	// Graph degree stream whose running sum wraps around 2^64 (nine unit
+	// degrees, then 2^64-5): must error, not under-allocate and panic.
+	var ovf snapshot.Enc
+	ovf.Uvarint(10)
+	for i := 0; i < 9; i++ {
+		ovf.Uvarint(1)
+	}
+	ovf.Uvarint(1<<64 - 5)
+	for i := 0; i < 8; i++ {
+		ovf.Uvarint(1)
+	}
+	f.Add(ovf.Bytes())
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) > 1<<20 {

@@ -134,6 +134,27 @@ func TestDecPrimitives(t *testing.T) {
 	}
 }
 
+// TestDecodeGraphDegreeOverflow pins the guard against a degree stream
+// whose running sum wraps around 2^64: nine unit degrees followed by a
+// degree of 2^64-5 wrap the total back to 4, which would pass the
+// remaining-bytes and int32 checks, under-allocate the arc arena, and
+// panic the fill loop. The decoder must return an error instead.
+func TestDecodeGraphDegreeOverflow(t *testing.T) {
+	var e snapshot.Enc
+	e.Uvarint(10)
+	for i := 0; i < 9; i++ {
+		e.Uvarint(1)
+	}
+	e.Uvarint(1<<64 - 5)
+	// Arc deltas the wrapped decoder would start consuming.
+	for i := 0; i < 8; i++ {
+		e.Uvarint(1)
+	}
+	if _, err := snapshot.DecodeGraph(snapshot.NewDec(e.Bytes())); err == nil {
+		t.Fatal("degree-sum overflow was accepted")
+	}
+}
+
 // goldenPath is the checked-in format-v1 checkpoint.
 func goldenPath() string { return filepath.Join("testdata", "golden_v1.snap") }
 
