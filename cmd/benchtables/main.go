@@ -52,6 +52,7 @@ func main() {
 	decompMode := flag.Bool("decomp", false, "benchmark the Corollary 1.2 pipeline (sequential vs batched) and record BENCH_decomp.json")
 	scaleMode := flag.Bool("scale", false, "run the million-node scenario tier (CSR builds, engine round, ColorCONGEST, ColorDecomposed at n=1e6; 1e5 with -quick) and record BENCH_scale.json")
 	snapshotMode := flag.Bool("snapshot", false, "measure checkpoint recording, encode, decode, and resume at the scale tier (n=1e6; 1e5 with -quick) and record BENCH_snapshot.json")
+	storeMode := flag.Bool("store", false, "measure the persistent graph store (ingest, encode, load vs rebuild, first query, 8-session serve sweep) at the scale tier (n=1e6; 1e5 with -quick) and record BENCH_store.json")
 	label := flag.String("label", "current", "label for the -engine/-clique/-mpc/-decomp record")
 	out := flag.String("o", "", "output path for the -engine/-clique/-mpc/-decomp record (default per mode)")
 	procs := flag.String("procs", "current", "GOMAXPROCS for the record sweeps: current, 1, max, or both (runs the sweep at GOMAXPROCS=1 and NumCPU, recording <label>@p1 and <label>@pN)")
@@ -105,6 +106,9 @@ func main() {
 		return
 	case *snapshotMode:
 		record("BENCH_snapshot.json", "smallbandwidth/bench-snapshot/v1", "cmd/benchtables -snapshot", snapshotBench)
+		return
+	case *storeMode:
+		record("BENCH_store.json", "smallbandwidth/bench-store/v1", "cmd/benchtables -store", storeBench)
 		return
 	}
 	want := map[string]bool{}

@@ -1,0 +1,161 @@
+package main
+
+// Graph-store benchmark recording: `benchtables -store` measures the
+// persistent-store pipeline at the million-node tier — edge-list
+// ingest, store encode+write, validated and trusted load, the
+// regenerate-from-scratch baseline the load replaces, time to first
+// query on a loaded graph, and an 8-session concurrent sweep through
+// the colorserve engine — and records BENCH_store.json. The rounds/
+// messages/words columns carry shape instead of protocol cost: load
+// rows put the file size in words, the serve row puts the session
+// count in rounds.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	sb "smallbandwidth"
+	"smallbandwidth/internal/enginebench"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/serve"
+	"smallbandwidth/internal/store"
+)
+
+func storeBench(quick bool) []EngineWorkload {
+	n := 1000000
+	if quick {
+		n = 100000
+	}
+	fail := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store %s run failed: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	dir, err := os.MkdirTemp("", "benchstore-*")
+	fail("tmpdir", err)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g.store")
+
+	const kind = "chunglu"
+	var out []EngineWorkload
+
+	// The graph under test, and the regeneration baseline the load path
+	// replaces (the acceptance ratio below is load vs this rebuild).
+	rebuild, g := measureBuild(fmt.Sprintf("store-rebuild/%s%d", kind, n), func() *sb.Graph {
+		return enginebench.ScaleGraph(kind, n)
+	})
+	out = append(out, rebuild)
+
+	// Ingest: the graph rendered as edge-list text (the operator's input
+	// format), parsed, deduplicated, relabeled, and built.
+	var sbld strings.Builder
+	sbld.Grow(16 * g.M())
+	g.Edges(func(u, v int) {
+		sbld.WriteString(strconv.Itoa(u))
+		sbld.WriteByte(' ')
+		sbld.WriteString(strconv.Itoa(v))
+		sbld.WriteByte('\n')
+	})
+	text := sbld.String()
+	var ingested *graph.Graph
+	out = append(out, measure(fmt.Sprintf("store-ingest/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		var stats *store.IngestStats
+		var err error
+		ingested, stats, err = store.Ingest(strings.NewReader(text))
+		fail("ingest", err)
+		return 0, int64(stats.Lines), int64(len(text))
+	}))
+	// Ingest relabels in first-appearance order and drops vertices that
+	// never occur in the text (ChungLu has isolated ones), so the graphs
+	// are isomorphic rather than equal; every edge must survive.
+	if ingested.M() != g.M() || ingested.N() > g.N() {
+		fmt.Fprintf(os.Stderr, "store ingest kept n=%d m=%d of a n=%d m=%d graph\n",
+			ingested.N(), ingested.M(), g.N(), g.M())
+		os.Exit(1)
+	}
+	ingested = nil
+
+	out = append(out, measure(fmt.Sprintf("store-encode/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		fail("write", store.Write(path, g))
+		st, err := os.Stat(path)
+		fail("stat", err)
+		return 0, 0, st.Size()
+	}))
+
+	var loaded *graph.Graph
+	for _, mode := range []struct {
+		name string
+		load func(string) (*graph.Graph, *store.Info, error)
+	}{{"load", store.Load}, {"loadtrust", store.LoadTrusted}} {
+		w := measure(fmt.Sprintf("store-%s/%s%d", mode.name, kind, n), g.N(), g.M(), func() (int, int64, int64) {
+			lg, info, err := mode.load(path)
+			fail(mode.name, err)
+			loaded = lg
+			return 0, 0, int64(info.Bytes)
+		})
+		out = append(out, w)
+		if !loaded.Equal(g) {
+			fmt.Fprintf(os.Stderr, "store %s returned a different graph\n", mode.name)
+			os.Exit(1)
+		}
+		ratio := float64(rebuild.WallNS) / float64(w.WallNS)
+		fmt.Printf("store-%s speedup over rebuild: %.1fx\n", mode.name, ratio)
+	}
+
+	// First query on a freshly loaded graph: list build + greedy + full
+	// verification — the end-to-end cost of "store file to first answer".
+	out = append(out, measure(fmt.Sprintf("store-firstquery/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		lg, _, err := store.LoadTrusted(path)
+		fail("firstquery load", err)
+		inst := graph.DeltaPlusOneInstance(lg)
+		colors := inst.Greedy()
+		fail("firstquery verify", inst.VerifyColoring(colors))
+		distinct, _ := serve.ColorsSummary(colors)
+		return 0, int64(distinct), 0
+	}))
+
+	// 8 concurrent sessions through the daemon engine, every transcript
+	// pinned against the single-session reference — the concurrency half
+	// of the acceptance criteria.
+	srv := serve.New(serve.Options{})
+	fail("serve add", srv.AddGraph("g", g))
+	script := "stats g\ncolor g greedy\nquit\n"
+	var ref strings.Builder
+	fail("serve reference", srv.HandleSession(strings.NewReader(script), &ref))
+	const sessions = 8
+	out = append(out, measure(fmt.Sprintf("store-serve%d/%s%d", sessions, kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		fail("serve sweep", serveBitIdentity(srv, sessions, script, ref.String()))
+		return sessions, 0, 0
+	}))
+	return out
+}
+
+// serveBitIdentity runs `sessions` concurrent scripted sessions through
+// the serve engine and checks every transcript against want; the first
+// divergence or session error is returned.
+func serveBitIdentity(srv *serve.Server, sessions int, script, want string) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out strings.Builder
+			if err := srv.HandleSession(strings.NewReader(script), &out); err != nil {
+				errs <- err
+				return
+			}
+			if out.String() != want {
+				errs <- fmt.Errorf("session transcript diverged:\n got %q\nwant %q", out.String(), want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

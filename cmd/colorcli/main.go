@@ -17,12 +17,12 @@ import (
 	"log"
 	"math"
 	"os"
-	"path/filepath"
 
 	sb "smallbandwidth"
 	"smallbandwidth/internal/congest"
 	"smallbandwidth/internal/core"
 	"smallbandwidth/internal/netdecomp"
+	"smallbandwidth/internal/store"
 )
 
 func main() {
@@ -45,6 +45,13 @@ func main() {
 	if *resume != "" {
 		runResume(*resume)
 		return
+	}
+
+	// -checkpoint-every only has an implementation for the two resumable
+	// pipelines; anywhere else it used to be silently ignored, leaving
+	// the user without the checkpoints they asked for.
+	if *ckEvery > 0 && *model != "congest" && *model != "decomposed" {
+		log.Fatalf("-checkpoint-every is not supported by -model %s (checkpointing models: congest, decomposed)", *model)
 	}
 
 	g := buildGraph(*graphKind, *n, *d, *p, *seed)
@@ -177,7 +184,7 @@ func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONG
 			return
 		}
 		raw := core.EncodeCheckpoint(&core.Checkpoint{Inst: inst, Opts: opts, Snap: ck.Latest()})
-		if err := writeFileAtomic(file, raw); err != nil {
+		if err := store.WriteFileAtomic(file, raw); err != nil {
 			log.Fatalf("checkpoint: %v", err)
 		}
 	}
@@ -199,7 +206,7 @@ func runDecomposedCheckpointed(inst *sb.Instance, every int, file string) (*sb.D
 			return
 		}
 		raw := netdecomp.EncodeCheckpoint(&netdecomp.Checkpoint{Inst: inst, Opts: opts, State: cp})
-		if err := writeFileAtomic(file, raw); err != nil {
+		if err := store.WriteFileAtomic(file, raw); err != nil {
 			log.Fatalf("checkpoint: %v", err)
 		}
 	}
@@ -233,26 +240,6 @@ func runResume(file string) {
 	}
 	fmt.Println("coloring verified ✓")
 	os.Exit(0)
-}
-
-// writeFileAtomic writes via a temp file and rename, so a crash during
-// a checkpoint write never destroys the previous good checkpoint.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ck-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 func fail(err error) {

@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"os"
+	"os/exec"
+	"strings"
 	"testing"
 )
 
@@ -37,4 +39,36 @@ func TestCLISmokeAllModels(t *testing.T) {
 	runCLI(t, "-graph", "cycle", "-n", "32", "-model", "decomposed")
 	runCLI(t, "-graph", "star", "-n", "12", "-model", "randomized")
 	runCLI(t, "-graph", "caveman", "-n", "24", "-model", "greedy", "-lists", "random")
+}
+
+// TestCheckpointEveryRejectedForUnsupportedModels is the regression
+// test for the silently-ignored flag: -checkpoint-every combined with a
+// model that has no checkpoint implementation must abort with an error
+// naming the models that do, instead of running without checkpoints.
+// log.Fatalf exits the process, so each case re-execs the test binary.
+func TestCheckpointEveryRejectedForUnsupportedModels(t *testing.T) {
+	if os.Getenv("COLORCLI_CKREJECT_MODEL") != "" {
+		runCLI(t, "-graph", "cycle", "-n", "16",
+			"-model", os.Getenv("COLORCLI_CKREJECT_MODEL"), "-checkpoint-every", "2")
+		return
+	}
+	for _, model := range []string{"clique", "mpc", "randomized", "greedy"} {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCheckpointEveryRejectedForUnsupportedModels")
+		cmd.Env = append(os.Environ(), "COLORCLI_CKREJECT_MODEL="+model)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("-model %s -checkpoint-every 2 succeeded; output:\n%s", model, out)
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("-model %s: %v, want exit status 1", model, err)
+		}
+		if !strings.Contains(string(out), "checkpointing models: congest, decomposed") {
+			t.Fatalf("-model %s error does not name the supporting models:\n%s", model, out)
+		}
+	}
+	// The supported models still accept the flag.
+	runCLI(t, "-graph", "cycle", "-n", "24", "-model", "congest",
+		"-checkpoint-every", "1000000", "-checkpoint", t.TempDir()+"/ck.snap")
+	runCLI(t, "-graph", "cycle", "-n", "24", "-model", "decomposed",
+		"-checkpoint-every", "1000000", "-checkpoint", t.TempDir()+"/ck.snap")
 }

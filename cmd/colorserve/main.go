@@ -1,0 +1,110 @@
+// colorserve is a long-running coloring daemon: it loads one or more
+// graph-store files at startup (zero-copy where the platform allows),
+// keeps them resident, and serves coloring, decomposition, and stats
+// requests concurrently over the line protocol documented in
+// internal/serve.
+//
+// Examples:
+//
+//	colorserve -listen 127.0.0.1:7777 web=web.store road=road.store
+//	colorserve -stdin g=graph.store < session.txt
+//	echo "color g congest" | colorserve -stdin -trust g=graph.store
+//
+// Graphs are named on the command line as name=path pairs (positional
+// or via repeated -store flags). -trust switches to the trusted load
+// path (offset checks only, no arc-symmetry validation) for stores the
+// daemon's operator produced; leave it off for files of unknown origin.
+//
+// In -listen mode the daemon serves until SIGINT/SIGTERM, then shuts
+// down gracefully: in-flight requests finish and their responses are
+// written before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"smallbandwidth/internal/serve"
+	"smallbandwidth/internal/store"
+)
+
+func main() {
+	var stores stringList
+	var (
+		listen  = flag.String("listen", "", "TCP address to serve on (e.g. 127.0.0.1:7777)")
+		stdin   = flag.Bool("stdin", false, "serve a single session on stdin/stdout and exit")
+		workers = flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		trust   = flag.Bool("trust", false, "skip full CSR validation when loading stores (only for self-produced files)")
+	)
+	flag.Var(&stores, "store", "graph to load, as name=path (repeatable; positional args work too)")
+	flag.Parse()
+	stores = append(stores, flag.Args()...)
+
+	if len(stores) == 0 {
+		log.Fatal("no graphs: pass at least one name=path store")
+	}
+	if (*listen == "") == !*stdin {
+		log.Fatal("pick exactly one of -listen ADDR or -stdin")
+	}
+
+	srv := serve.New(serve.Options{Workers: *workers})
+	load := store.Load
+	if *trust {
+		load = store.LoadTrusted
+	}
+	for _, spec := range stores {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("bad -store %q: want name=path", spec)
+		}
+		g, info, err := load(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if err := srv.AddGraph(name, g); err != nil {
+			log.Fatal(err)
+		}
+		mode := "copied"
+		if info.ZeroCopy {
+			mode = "zero-copy"
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: n=%d m=%d maxdeg=%d bytes=%d (%s)\n",
+			name, info.N, info.M, info.MaxDeg, info.Bytes, mode)
+	}
+
+	if *stdin {
+		if err := srv.HandleSession(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "colorserve listening on %s (graphs: %s)\n",
+		ln.Addr(), strings.Join(srv.Names(), ","))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "colorserve: drained, bye")
+}
+
+// stringList collects repeated -store flags.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/serve"
+	"smallbandwidth/internal/store"
+)
+
+// runServe invokes main with a fresh flag set, a scripted stdin, and a
+// captured stdout, mirroring the colorcli test harness.
+func runServe(t *testing.T, input string, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	oldIn, oldOut := os.Stdin, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+		os.Stdin, os.Stdout = oldIn, oldOut
+	}()
+	flag.CommandLine = flag.NewFlagSet("colorserve", flag.ExitOnError)
+	os.Args = append([]string{"colorserve"}, args...)
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in")
+	if err := os.WriteFile(in, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inF, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inF.Close()
+	outF, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin, os.Stdout = inF, outF
+	main()
+	os.Stdout = oldOut
+	if err := outF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(got)
+}
+
+// TestStdinSessionGolden is the end-to-end daemon test CI mirrors: a
+// store file on disk, a scripted session on stdin, and responses pinned
+// against direct library answers through serve.ColorsSummary.
+func TestStdinSessionGolden(t *testing.T) {
+	g := graph.Grid2D(5, 5)
+	path := filepath.Join(t.TempDir(), "grid.store")
+	if err := store.Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	distinct, hash := serve.ColorsSummary(graph.DeltaPlusOneInstance(g).Greedy())
+
+	session := strings.Join([]string{
+		"ping",
+		"graphs",
+		"info grid",
+		"color grid greedy",
+		"color grid nosuch",
+		"quit",
+	}, "\n") + "\n"
+	got := runServe(t, session, "-stdin", "grid="+path)
+	want := strings.Join([]string{
+		"ok pong",
+		"ok graphs=grid",
+		"ok graph=grid n=25 m=40 maxdeg=4 arcs=80",
+		fmt.Sprintf("ok graph=grid model=greedy colors=%d hash=%08x", distinct, hash),
+		`err unknown model "nosuch" (want congest|decomposed|clique|mpc|greedy)`,
+		"ok bye",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("session transcript:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestSessionFixtureCurrent replays the checked-in CI session fixture
+// (testdata/session.txt against the sample edge list) and demands the
+// checked-in expected transcript — if an algorithm change shifts any
+// answer, this fails here before CI's diff step does.
+func TestSessionFixtureCurrent(t *testing.T) {
+	f, err := os.Open("../graphstore/testdata/sample.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := store.Ingest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.store")
+	if err := store.Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	script, err := os.ReadFile("testdata/session.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/session.expect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runServe(t, string(script), "-stdin", "sample="+path)
+	if got != string(want) {
+		t.Fatalf("session fixture is stale:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestStdinTrustedLoad: -trust serves the same answers as the validated
+// path on a well-formed store.
+func TestStdinTrustedLoad(t *testing.T) {
+	g := graph.GNP(30, 0.2, 4)
+	path := filepath.Join(t.TempDir(), "g.store")
+	if err := store.Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	req := "color g congest\nquit\n"
+	validated := runServe(t, req, "-stdin", "g="+path)
+	trusted := runServe(t, req, "-stdin", "-trust", "-store", "g="+path)
+	if validated != trusted {
+		t.Fatalf("trusted load diverges:\n%q\n%q", validated, trusted)
+	}
+}

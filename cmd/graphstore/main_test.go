@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/store"
+)
+
+// exitErr carries the status through the osExit seam so a fail() in the
+// middle of a subcommand unwinds instead of running on.
+type exitErr int
+
+// run invokes main with the given argv, capturing stdout and the exit
+// status taken through the osExit seam (0 when main returns normally).
+func run(t *testing.T, args ...string) (stdout string, code int) {
+	t.Helper()
+	oldArgs, oldExit, oldOut := os.Args, osExit, os.Stdout
+	defer func() {
+		os.Args, osExit, os.Stdout = oldArgs, oldExit, oldOut
+	}()
+	osExit = func(c int) { panic(exitErr(c)) }
+	outF, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = append([]string{"graphstore"}, args...)
+	os.Stdout = outF
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e, ok := p.(exitErr)
+				if !ok {
+					panic(p)
+				}
+				code = int(e)
+			}
+		}()
+		main()
+	}()
+	os.Stdout = oldOut
+	if err := outF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), code
+}
+
+// TestIngestSampleEndToEnd runs the checked-in sample through ingest →
+// verify → info and pins the printed stats against the grammar the
+// sample exercises.
+func TestIngestSampleEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sample.store")
+	stdout, code := run(t, "ingest", "-o", out, "testdata/sample.edges")
+	if code != 0 {
+		t.Fatalf("ingest exited %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "edges=6 duplicates=2 selfloops=1 nodes=6") {
+		t.Fatalf("ingest stats:\n%s", stdout)
+	}
+
+	g, _, err := store.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-appearance relabeling of the sample:
+	// 10→0 20→1 30→2 40→3 50→4 60→5.
+	want, err := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(g) {
+		t.Fatal("sample store holds the wrong graph")
+	}
+
+	stdout, code = run(t, "verify", out)
+	if code != 0 || !strings.Contains(stdout, "ok n=6 m=6 maxdeg=3") {
+		t.Fatalf("verify (exit %d):\n%s", code, stdout)
+	}
+	stdout, code = run(t, "info", out)
+	if code != 0 || !strings.Contains(stdout, "n=6 m=6 maxdeg=3") {
+		t.Fatalf("info (exit %d):\n%s", code, stdout)
+	}
+}
+
+// TestIngestMalformedExitsOneWithLine is the satellite-3 regression
+// test at the CLI layer: malformed input exits 1 (not a panic) and the
+// message carries the offending line number.
+func TestIngestMalformedExitsOneWithLine(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.edges")
+	if err := os.WriteFile(in, []byte("0 1\n1 2\nnot numbers\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, code := run(t, "ingest", "-o", filepath.Join(dir, "bad.store"), in)
+	if code != 1 {
+		t.Fatalf("malformed ingest exited %d, want 1", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.store")); !os.IsNotExist(err) {
+		t.Fatal("a store file was written for malformed input")
+	}
+}
+
+// TestVerifyRejectsCorruption: a flipped byte in the stored arenas
+// fails verify with exit 1.
+func TestVerifyRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.store")
+	if err := store.Write(path, graph.Grid2D(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := run(t, "verify", path); code != 1 {
+		t.Fatalf("verify of a corrupted store exited %d, want 1", code)
+	}
+}
+
+// TestRoundTripThroughColorserveEngine: an ingested store loads into
+// the serve engine and answers a congest query identically to the
+// library — the ingest → store → daemon path end to end.
+func TestRoundTripThroughColorserveEngine(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "g.edges")
+	g := graph.GNP(32, 0.18, 6)
+	var sb strings.Builder
+	g.Edges(func(u, v int) { fmt.Fprintf(&sb, "%d %d\n", u, v) })
+	if err := os.WriteFile(in, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.store")
+	if _, code := run(t, "ingest", "-o", out, in); code != 0 {
+		t.Fatal("ingest failed")
+	}
+	loaded, _, err := store.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CLI must match the library's Ingest bit for bit (relabeling is
+	// first-appearance order, so the generator labels need not survive).
+	want, _, err := store.Ingest(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(loaded) {
+		t.Fatal("CLI-ingested store differs from the library ingest")
+	}
+	if want.M() != g.M() {
+		t.Fatalf("ingest kept %d edges, generator has %d", want.M(), g.M())
+	}
+}

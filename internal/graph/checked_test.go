@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestBuildCheckedReportsDuplicate pins the error-returning finalizer:
+// a duplicate edge injected through the unchecked add path surfaces as
+// an error from BuildChecked — the path graphstore ingest relies on to
+// turn malformed user input into a diagnostic instead of a panic.
+func TestBuildCheckedReportsDuplicate(t *testing.T) {
+	b := NewBuilder(3)
+	b.add(0, 1)
+	b.add(1, 0)
+	g, err := b.BuildChecked()
+	if err == nil {
+		t.Fatal("BuildChecked accepted a duplicate unchecked edge")
+	}
+	if g != nil {
+		t.Fatal("BuildChecked returned a graph alongside its error")
+	}
+	if !strings.Contains(err.Error(), "duplicate edge") {
+		t.Fatalf("BuildChecked error %q does not name the duplicate", err)
+	}
+}
+
+// TestBuildCheckedValid confirms the checked finalizer produces the same
+// graph as Build on valid input.
+func TestBuildCheckedValid(t *testing.T) {
+	mk := func() *Builder {
+		b := NewBuilder(5)
+		for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}} {
+			if err := b.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	want := mk().Build()
+	got, err := mk().BuildChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("BuildChecked and Build disagree on a valid edge set")
+	}
+}
+
+// TestFromCSRUncheckedAdopts pins the trusted adopting constructor: the
+// raw arrays of a validated graph round-trip into an Equal graph with
+// the same Δ, and the slices are adopted, not copied.
+func TestFromCSRUncheckedAdopts(t *testing.T) {
+	for _, g := range []*Graph{Path(9), Star(7), GNP(30, 0.2, 3), NewBuilder(0).Build(), NewBuilder(4).Build()} {
+		off, nbr := g.CSR()
+		off, nbr = slices.Clone(off), slices.Clone(nbr)
+		got, err := FromCSRUnchecked(off, nbr)
+		if err != nil {
+			t.Fatalf("FromCSRUnchecked rejected a valid graph: %v", err)
+		}
+		if !g.Equal(got) || got.MaxDegree() != g.MaxDegree() {
+			t.Fatal("FromCSRUnchecked round trip produced a different graph")
+		}
+		goff, gnbr := got.CSR()
+		if (len(off) > 0 && &goff[0] != &off[0]) || (len(nbr) > 0 && &gnbr[0] != &nbr[0]) {
+			t.Fatal("FromCSRUnchecked copied its input instead of adopting it")
+		}
+	}
+}
+
+// TestFromCSRUncheckedShapeChecks pins the memory-safety floor the
+// trusted constructor still enforces: broken offset tables are rejected
+// so Neighbors can never slice out of bounds.
+func TestFromCSRUncheckedShapeChecks(t *testing.T) {
+	bad := []struct {
+		name string
+		off  []int32
+		nbr  []int32
+	}{
+		{"empty-off", nil, nil},
+		{"nonzero-start", []int32{1, 1}, nil},
+		{"decreasing-off", []int32{0, 2, 1, 4}, []int32{1, 2, 0, 0}},
+		{"bad-end", []int32{0, 1}, []int32{0, 0}},
+		{"odd-arcs", []int32{0, 1, 1}, []int32{1}},
+	}
+	for _, c := range bad {
+		if _, err := FromCSRUnchecked(c.off, c.nbr); err == nil {
+			t.Fatalf("FromCSRUnchecked accepted malformed offsets %q", c.name)
+		}
+	}
+}
+
+// TestCheckSymmetryWitness exercises the linear transpose check
+// directly on the asymmetry shapes the old binary-search sweep caught,
+// including the skewed-in-degree case where a row cursor would run past
+// its row without the bound check.
+func TestCheckSymmetryWitness(t *testing.T) {
+	bad := []struct {
+		name string
+		off  []int32
+		nbr  []int32
+	}{
+		// arc (1,2) with its reverse missing (node 2's row is empty).
+		{"missing-reverse", []int32{0, 1, 2, 2}, []int32{1, 2}},
+		// all arcs point at node 2, whose row is empty: cursor bound trips.
+		{"skewed-indegree", []int32{0, 1, 2, 2}, []int32{2, 2}},
+		// swapped partners: 0→1/1→0 missing, 0↔1 vs 2↔3 crossed.
+		{"crossed-pairs", []int32{0, 1, 2, 3, 4}, []int32{1, 2, 3, 0}},
+	}
+	for _, c := range bad {
+		if err := checkSymmetry(c.off, c.nbr); err == nil {
+			t.Fatalf("checkSymmetry accepted asymmetric arcs %q", c.name)
+		}
+	}
+	g := GNP(40, 0.3, 9)
+	off, nbr := g.CSR()
+	if err := checkSymmetry(off, nbr); err != nil {
+		t.Fatalf("checkSymmetry rejected a valid graph: %v", err)
+	}
+}

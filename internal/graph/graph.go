@@ -210,6 +210,16 @@ func (b *Builder) MustAddEdge(u, v int) {
 	}
 }
 
+// AddUnchecked inserts {u,v} without the hash-set membership test, for
+// callers that have already deduplicated their edge stream (the store's
+// ingest path buffers and dedups edges before the node count — and
+// therefore the builder — can exist). A violated promise is still
+// caught: BuildChecked's strict-ascent scan reports duplicates as an
+// error, Build's as a panic. Range and self-loop violations panic — in
+// every caller those are process invariants established before the add,
+// never raw input properties.
+func (b *Builder) AddUnchecked(u, v int) { b.add(u, v) }
+
 // add is the unchecked fast path for generators whose edge streams are
 // duplicate-free by construction: it skips the hash-set membership test
 // (Build's sorted-arena scan still catches a violated promise), so the
@@ -226,18 +236,38 @@ func (b *Builder) add(u, v int) {
 	b.vs = append(b.vs, int32(v))
 }
 
-// Build finalizes the graph by a two-pass counting sort: pass one counts
-// degrees into the offset table, pass two buckets every arc by its
-// target and then scatters the buckets — walked in ascending target
+// Build finalizes the graph (see BuildChecked for the algorithm). It
+// panics on arc-space overflow and on duplicate edges that slipped past
+// the unchecked add path — construction-time invariant violations are
+// generator bugs, never data. Input that originates outside the process
+// (edge-list files, network payloads) must go through BuildChecked
+// instead, which returns those violations as errors.
+func (b *Builder) Build() *Graph {
+	g, err := b.BuildChecked()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BuildChecked finalizes the graph by a two-pass counting sort: pass one
+// counts degrees into the offset table, pass two buckets every arc by
+// its target and then scatters the buckets — walked in ascending target
 // order — into the arc arena, which lands each adjacency row already
 // sorted. Total O(n+m) time, O(m) transient space, zero comparison
 // sorts and zero per-node allocations. The builder may not be reused
 // afterwards.
-func (b *Builder) Build() *Graph {
+//
+// Unlike Build it returns errors instead of panicking: arc-space
+// overflow and duplicate edges (reachable through the unchecked add
+// path) are reported, never thrown. This is the finalizer for builders
+// fed from user-controlled input, where malformed data must surface as
+// a diagnostic rather than a crash.
+func (b *Builder) BuildChecked() (*Graph, error) {
 	n := b.n
 	m := len(b.us)
 	if 2*m > (1<<31)-1 {
-		panic(fmt.Sprintf("graph: %d edges exceed the int32 arc-ID space", m))
+		return nil, fmt.Errorf("graph: %d edges exceed the int32 arc-ID space", m)
 	}
 	off := make([]int32, n+1)
 	for i := range b.us {
@@ -286,7 +316,7 @@ func (b *Builder) Build() *Graph {
 		}
 		for i := 1; i < len(row); i++ {
 			if row[i-1] == row[i] {
-				panic(fmt.Sprintf("graph: duplicate edge (%d,%d) reached Build", v, row[i]))
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d) reached Build", v, row[i])
 			}
 		}
 	}
@@ -294,7 +324,7 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{n: n, m: m, maxDeg: maxDeg, off: off, nbr: nbr}
 	b.seen = nil
 	b.us, b.vs = nil, nil
-	return g
+	return g, nil
 }
 
 // FromEdges builds a graph from an explicit edge list.
@@ -350,15 +380,80 @@ func FromCSR(off, nbr []int32) (*Graph, error) {
 			}
 		}
 	}
-	g := &Graph{n: n, m: len(nbr) / 2, maxDeg: maxDeg, off: off, nbr: nbr}
+	if err := checkSymmetry(off, nbr); err != nil {
+		return nil, err
+	}
+	return &Graph{n: n, m: len(nbr) / 2, maxDeg: maxDeg, off: off, nbr: nbr}, nil
+}
+
+// checkSymmetry verifies that every arc has its reverse arc in O(n+m):
+// a counting-sort transpose of the arc set, scattered in ascending
+// source order so each transposed row lands sorted, then compared
+// against the original arena. With strictly ascending rows (validated
+// by the caller), in-set == out-set per node iff the arc relation is
+// symmetric. Replaces the former per-arc binary-search sweep, which
+// cost O(m·log Δ) — on a multi-million-arc store load the difference
+// is tens of milliseconds versus hundreds.
+func checkSymmetry(off, nbr []int32) error {
+	n := len(off) - 1
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	tr := make([]int32, len(nbr))
 	for v := 0; v < n; v++ {
-		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
-			if !g.HasEdge(int(w), v) {
-				return nil, fmt.Errorf("graph: arc (%d,%d) has no reverse arc", v, w)
+		for _, w := range nbr[off[v]:off[v+1]] {
+			// Bound each row cursor so a skewed in-degree distribution in
+			// hostile input cannot scatter past its row (or the arena).
+			if cur[w] >= off[w+1] {
+				return fmt.Errorf("graph: arc (%d,%d) has no reverse arc", v, w)
+			}
+			tr[cur[w]] = int32(v)
+			cur[w]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		row, trow := nbr[off[v]:off[v+1]], tr[off[v]:off[v+1]]
+		for i := range row {
+			if row[i] != trow[i] {
+				return fmt.Errorf("graph: arc (%d,%d) has no reverse arc", v, row[i])
 			}
 		}
 	}
-	return g, nil
+	return nil
+}
+
+// FromCSRUnchecked adopts raw CSR arrays with only the O(n) shape checks
+// needed for memory safety — offset-table bounds and monotonicity, so
+// Neighbors can never slice out of range — and recomputes Δ from the
+// offset table without touching the arc arena. Per-arc invariants
+// (target range, sortedness, no self-loops, symmetry) are NOT verified:
+// the caller vouches that the arrays came from an already-validated
+// graph, e.g. the store's trusted load path re-reading a file this
+// process just wrote. For data of unknown provenance use FromCSR. The
+// slices are retained by the graph and must not be modified afterwards.
+func FromCSRUnchecked(off, nbr []int32) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: CSR offset table is empty")
+	}
+	n := len(off) - 1
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offset table starts at %d, not 0", off[0])
+	}
+	if int64(off[n]) != int64(len(nbr)) {
+		return nil, fmt.Errorf("graph: CSR offset table ends at %d for %d arcs", off[n], len(nbr))
+	}
+	if len(nbr)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd arc count %d (undirected graphs have 2m arcs)", len(nbr))
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: CSR offset table decreases at node %d", v)
+		}
+		if deg := int(off[v+1] - off[v]); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	return &Graph{n: n, m: len(nbr) / 2, maxDeg: maxDeg, off: off, nbr: nbr}, nil
 }
 
 // InducedSubgraph returns the subgraph induced by the given node set

@@ -260,6 +260,18 @@ func TestBFSAndDiameter(t *testing.T) {
 	}
 }
 
+func TestComponentCount(t *testing.T) {
+	for _, g := range []*Graph{
+		Path(9), Cycle(12), Star(7), Grid2D(4, 5), GNP(40, 0.05, 3),
+		NewBuilder(6).Build(), NewBuilder(0).Build(),
+		Barbell(5, 4), Caveman(4, 3),
+	} {
+		if got, want := g.ComponentCount(), len(g.ConnectedComponents()); got != want {
+			t.Errorf("n=%d: ComponentCount=%d, ConnectedComponents yields %d", g.N(), got, want)
+		}
+	}
+}
+
 func TestInducedSubgraph(t *testing.T) {
 	g := Cycle(6)
 	sub, orig := g.InducedSubgraph([]int{0, 1, 2, 4})

@@ -123,6 +123,35 @@ func sortInts(a []int) {
 	}
 }
 
+// ComponentCount returns the number of connected components without
+// materializing (or sorting) the member lists — O(n+m), usable at the
+// million-node tier where ConnectedComponents' per-component sort is
+// quadratic on a BFS-ordered giant component.
+func (g *Graph) ComponentCount() int {
+	visited := make([]bool, g.n)
+	off, nbr := g.off, g.nbr
+	queue := make([]int32, 0, 256)
+	count := 0
+	for s := 0; s < g.n; s++ {
+		if visited[s] {
+			continue
+		}
+		count++
+		visited[s] = true
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range nbr[off[u]:off[u+1]] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count
+}
+
 // Degeneracy returns the degeneracy of the graph (the smallest d such that
 // every subgraph has a node of degree ≤ d), computed by iterated minimum-
 // degree removal.

@@ -1,0 +1,350 @@
+// Package serve is the coloring-service engine behind cmd/colorserve: a
+// set of resident graphs (loaded once, typically from graph-store
+// files) and a line-oriented request protocol served concurrently from
+// a bounded worker pool.
+//
+// # Protocol
+//
+// One request per line, fields separated by spaces; one response line
+// per request, in request order within a session. Responses start with
+// "ok" or "err". Sessions are independent — a daemon serves many
+// concurrent sessions, each on its own connection, with the worker pool
+// bounding total concurrent compute across all of them.
+//
+//	ping                 → ok pong
+//	graphs               → ok graphs=<name,...> (sorted)
+//	info <graph>         → ok graph=<g> n=.. m=.. maxdeg=.. arcs=..
+//	stats <graph>        → ok graph=<g> n=.. m=.. maxdeg=.. mindeg=..
+//	                        avgdeg=.. isolated=.. components=..
+//	color <graph> <model>→ ok graph=<g> model=<m> colors=.. hash=..
+//	                        <model-specific cost fields>
+//	quit                 → ok bye (and the session ends)
+//
+// model is one of congest|decomposed|clique|mpc|greedy. Every color
+// response is verified against the instance before it is sent; colors=
+// is the number of distinct colors used and hash= the CRC-32 (IEEE) of
+// the little-endian color array — the field the differential tests and
+// the CI session diff use to pin bit-identity against direct library
+// calls.
+//
+// Every malformed request — unknown command, unknown graph, unknown
+// model, wrong arity — answers "err <reason>" and leaves the session
+// usable: remote input must never take the daemon down.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smallbandwidth/internal/clique"
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/mpc"
+	"smallbandwidth/internal/netdecomp"
+	"smallbandwidth/internal/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the number of concurrently executing requests
+	// across all sessions; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Server holds the resident graphs and the worker pool. Register every
+// graph (AddGraph/LoadStore) before serving: the graph set is immutable
+// once requests flow, which is what lets sessions read it lock-free.
+type Server struct {
+	sem    chan struct{}
+	graphs map[string]*entry
+}
+
+// entry is one resident graph with its (Δ+1)-instance materialized at
+// registration, so no request pays the list build.
+type entry struct {
+	g    *graph.Graph
+	inst *graph.Instance
+}
+
+// New returns a Server with an empty graph set.
+func New(opts Options) *Server {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Server{sem: make(chan struct{}, w), graphs: map[string]*entry{}}
+}
+
+// AddGraph registers g under name and precomputes its resident
+// (Δ+1)-coloring instance.
+func (s *Server) AddGraph(name string, g *graph.Graph) error {
+	if name == "" || strings.ContainsAny(name, " \t\r\n") {
+		return fmt.Errorf("serve: invalid graph name %q", name)
+	}
+	if _, dup := s.graphs[name]; dup {
+		return fmt.Errorf("serve: duplicate graph name %q", name)
+	}
+	s.graphs[name] = &entry{g: g, inst: graph.DeltaPlusOneInstance(g)}
+	return nil
+}
+
+// LoadStore loads the store file at path (validated, zero-copy where
+// the platform allows) and registers it under name.
+func (s *Server) LoadStore(name, path string) (*store.Info, error) {
+	g, info, err := store.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	if err := s.AddGraph(name, g); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Names returns the registered graph names, sorted.
+func (s *Server) Names() []string {
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HandleSession serves one session: requests from r, responses to w,
+// until quit, EOF, or a write error. Each request runs inside a worker
+// slot, so N concurrent sessions never execute more than the pool's
+// width of coloring runs at once.
+func (s *Server) HandleSession(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	bw := bufio.NewWriter(w)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.dispatch(line)
+		if _, err := bw.WriteString(resp + "\n"); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if quit {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// dispatch executes one request line inside a worker slot.
+func (s *Server) dispatch(line string) (resp string, quit bool) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	defer func() {
+		// A panic inside an algorithm must not take down the daemon or
+		// the session: report it as a request error. The resident state
+		// is read-only, so no corruption can escape the request.
+		if p := recover(); p != nil {
+			resp, quit = fmt.Sprintf("err internal: %v", p), false
+		}
+	}()
+
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "ping":
+		if len(args) != 0 {
+			return "err usage: ping", false
+		}
+		return "ok pong", false
+	case "quit":
+		return "ok bye", true
+	case "graphs":
+		if len(args) != 0 {
+			return "err usage: graphs", false
+		}
+		return "ok graphs=" + strings.Join(s.Names(), ","), false
+	case "info":
+		if len(args) != 1 {
+			return "err usage: info <graph>", false
+		}
+		e, err := s.lookup(args[0])
+		if err != nil {
+			return "err " + err.Error(), false
+		}
+		return fmt.Sprintf("ok graph=%s n=%d m=%d maxdeg=%d arcs=%d",
+			args[0], e.g.N(), e.g.M(), e.g.MaxDegree(), e.g.NumArcs()), false
+	case "stats":
+		if len(args) != 1 {
+			return "err usage: stats <graph>", false
+		}
+		e, err := s.lookup(args[0])
+		if err != nil {
+			return "err " + err.Error(), false
+		}
+		return statsResponse(args[0], e.g), false
+	case "color":
+		if len(args) != 2 {
+			return "err usage: color <graph> <model>", false
+		}
+		e, err := s.lookup(args[0])
+		if err != nil {
+			return "err " + err.Error(), false
+		}
+		return colorResponse(args[0], args[1], e.inst), false
+	default:
+		return fmt.Sprintf("err unknown command %q", cmd), false
+	}
+}
+
+func (s *Server) lookup(name string) (*entry, error) {
+	e, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q (have: %s)", name, strings.Join(s.Names(), ","))
+	}
+	return e, nil
+}
+
+func statsResponse(name string, g *graph.Graph) string {
+	minDeg, isolated := 0, 0
+	if g.N() > 0 {
+		minDeg = g.Degree(0)
+	}
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d == 0 {
+			isolated++
+		}
+	}
+	avg := 0.0
+	if g.N() > 0 {
+		avg = float64(2*g.M()) / float64(g.N())
+	}
+	return fmt.Sprintf("ok graph=%s n=%d m=%d maxdeg=%d mindeg=%d avgdeg=%.2f isolated=%d components=%d",
+		name, g.N(), g.M(), g.MaxDegree(), minDeg, avg, isolated, g.ComponentCount())
+}
+
+// ColorsSummary reduces a coloring to the two protocol fields: the
+// distinct-color count and the CRC-32 of the little-endian color
+// array. Exported so differential tests and benchmarks compute the
+// reference values through the same code.
+func ColorsSummary(colors []uint32) (distinct int, hash uint32) {
+	seen := make(map[uint32]struct{}, 64)
+	h := crc32.NewIEEE()
+	var buf [4]byte
+	for _, c := range colors {
+		seen[c] = struct{}{}
+		binary.LittleEndian.PutUint32(buf[:], c)
+		h.Write(buf[:])
+	}
+	return len(seen), h.Sum32()
+}
+
+func colorResponse(name, model string, inst *graph.Instance) string {
+	var (
+		colors []uint32
+		extra  string
+		err    error
+	)
+	switch model {
+	case "congest":
+		var res *core.Result
+		res, err = core.ListColorCONGEST(inst, core.Options{})
+		if err == nil {
+			colors = res.Colors
+			extra = fmt.Sprintf(" rounds=%d messages=%d maxmsgwords=%d iterations=%d",
+				res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxMessageWords, res.Iterations)
+		}
+	case "decomposed":
+		var res *netdecomp.DecompResult
+		res, err = netdecomp.ListColorDecomposed(inst, core.Options{})
+		if err == nil {
+			colors = res.Colors
+			extra = fmt.Sprintf(" chargedrounds=%d classes=%d clusters=%d",
+				res.ChargedRounds, res.Decomp.Colors, len(res.Decomp.Clusters))
+		}
+	case "clique":
+		var res *clique.Result
+		res, err = clique.ListColorClique(inst, clique.Options{})
+		if err == nil {
+			colors = res.Colors
+			extra = fmt.Sprintf(" rounds=%d iterations=%d", res.Stats.Rounds, res.Iterations)
+		}
+	case "mpc":
+		var res *mpc.Result
+		res, err = mpc.ListColorMPC(inst, mpc.Options{})
+		if err == nil {
+			colors = res.Colors
+			extra = fmt.Sprintf(" rounds=%d machines=%d s=%d", res.Rounds, res.Machines, res.S)
+		}
+	case "greedy":
+		colors = inst.Greedy()
+	default:
+		return fmt.Sprintf("err unknown model %q (want congest|decomposed|clique|mpc|greedy)", model)
+	}
+	if err != nil {
+		return "err " + err.Error()
+	}
+	if err := inst.VerifyColoring(colors); err != nil {
+		return "err " + err.Error()
+	}
+	distinct, hash := ColorsSummary(colors)
+	return fmt.Sprintf("ok graph=%s model=%s colors=%d hash=%08x%s", name, model, distinct, hash, extra)
+}
+
+// Serve accepts connections from ln until ctx is canceled, one session
+// per connection. Cancellation is graceful: the listener stops
+// accepting, idle sessions are unblocked via an expired read deadline
+// (an in-flight request still finishes and writes its response), and
+// Serve returns once every session goroutine has exited.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+	}()
+	defer close(done)
+	var conns sync.Map
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				conns.Range(func(k, _ any) bool {
+					k.(net.Conn).SetReadDeadline(time.Now())
+					return true
+				})
+				wg.Wait()
+				return nil
+			}
+			wg.Wait()
+			return err
+		}
+		wg.Add(1)
+		conns.Store(conn, struct{}{})
+		go func() {
+			defer wg.Done()
+			defer conns.Delete(conn)
+			defer conn.Close()
+			s.HandleSession(conn, conn)
+		}()
+	}
+}

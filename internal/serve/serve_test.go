@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/store"
+)
+
+func newTestServer(t *testing.T, workers int) *Server {
+	t.Helper()
+	s := New(Options{Workers: workers})
+	if err := s.AddGraph("gnp", graph.GNP(40, 0.15, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGraph("grid", graph.Grid2D(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// session runs one scripted session against the server and returns the
+// response lines.
+func session(t *testing.T, s *Server, requests ...string) []string {
+	t.Helper()
+	var out strings.Builder
+	if err := s.HandleSession(strings.NewReader(strings.Join(requests, "\n")+"\n"), &out); err != nil {
+		t.Fatalf("session failed: %v", err)
+	}
+	return strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+}
+
+// TestProtocolGolden pins the exact response lines the CI session diff
+// depends on — including every error shape, which must leave the
+// session usable.
+func TestProtocolGolden(t *testing.T) {
+	s := newTestServer(t, 2)
+	grid := graph.Grid2D(5, 6)
+	distinct, hash := ColorsSummary(graph.DeltaPlusOneInstance(grid).Greedy())
+
+	got := session(t, s,
+		"ping",
+		"graphs",
+		"info grid",
+		"stats grid",
+		"color grid greedy",
+		"info nope",
+		"color grid fancy",
+		"color grid",
+		"frobnicate",
+		"ping",
+		"quit",
+		"ping", // after quit: must not be answered
+	)
+	want := []string{
+		"ok pong",
+		"ok graphs=gnp,grid",
+		"ok graph=grid n=30 m=49 maxdeg=4 arcs=98",
+		"ok graph=grid n=30 m=49 maxdeg=4 mindeg=2 avgdeg=3.27 isolated=0 components=1",
+		fmt.Sprintf("ok graph=grid model=greedy colors=%d hash=%08x", distinct, hash),
+		`err unknown graph "nope" (have: gnp,grid)`,
+		`err unknown model "fancy" (want congest|decomposed|clique|mpc|greedy)`,
+		"err usage: color <graph> <model>",
+		`err unknown command "frobnicate"`,
+		"ok pong",
+		"ok bye",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d responses %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("response %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAllModelsVerifiedAndDeterministic: each model answers ok on each
+// graph, and repeating the request reproduces the identical line — the
+// daemon's answers are a pure function of (graph, model).
+func TestAllModelsVerifiedAndDeterministic(t *testing.T) {
+	s := newTestServer(t, 4)
+	for _, g := range []string{"gnp", "grid"} {
+		for _, model := range []string{"congest", "decomposed", "clique", "mpc", "greedy"} {
+			req := "color " + g + " " + model
+			a := session(t, s, req)[0]
+			if !strings.HasPrefix(a, "ok ") {
+				t.Fatalf("%s: %s", req, a)
+			}
+			if b := session(t, s, req)[0]; a != b {
+				t.Fatalf("%s not deterministic:\n%s\n%s", req, a, b)
+			}
+		}
+	}
+}
+
+// TestServeConcurrentBitIdentical is the daemon-side acceptance test:
+// 8 concurrent TCP sessions all running coloring queries, every
+// response bit-identical to direct library calls on the same graphs.
+func TestServeConcurrentBitIdentical(t *testing.T) {
+	s := newTestServer(t, 4)
+
+	// Reference answers straight from the library.
+	want := map[string]string{}
+	for _, name := range []string{"gnp", "grid"} {
+		inst := s.graphs[name].inst
+		res, err := core.ListColorCONGEST(inst, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, h := ColorsSummary(res.Colors)
+		want["color "+name+" congest"] = fmt.Sprintf(
+			"ok graph=%s model=congest colors=%d hash=%08x rounds=%d messages=%d maxmsgwords=%d iterations=%d",
+			name, d, h, res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxMessageWords, res.Iterations)
+		d, h = ColorsSummary(inst.Greedy())
+		want["color "+name+" greedy"] = fmt.Sprintf("ok graph=%s model=greedy colors=%d hash=%08x", name, d, h)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			name := []string{"gnp", "grid"}[i%2]
+			reqs := []string{"color " + name + " congest", "color " + name + " greedy"}
+			var sb strings.Builder
+			for _, r := range reqs {
+				sb.WriteString(r + "\n")
+			}
+			sb.WriteString("quit\n")
+			if _, err := conn.Write([]byte(sb.String())); err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, 1<<16)
+			var resp strings.Builder
+			for {
+				n, err := conn.Read(buf)
+				resp.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			lines := strings.Split(strings.TrimSuffix(resp.String(), "\n"), "\n")
+			if len(lines) != len(reqs)+1 {
+				errs <- fmt.Errorf("session %d: %d responses %q", i, len(lines), lines)
+				return
+			}
+			for j, r := range reqs {
+				if lines[j] != want[r] {
+					errs <- fmt.Errorf("session %d request %q:\n got %q\nwant %q", i, r, lines[j], want[r])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain within 10s of cancellation")
+	}
+}
+
+// TestServeShutdownUnblocksIdleSession: a session sitting idle in a
+// read must not wedge shutdown.
+func TestServeShutdownUnblocksIdleSession(t *testing.T) {
+	s := newTestServer(t, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if n, err := conn.Read(buf); err != nil || string(buf[:n]) != "ok pong\n" {
+		t.Fatalf("ping answered %q (%v)", buf[:n], err)
+	}
+	// Leave the session idle and cancel.
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve wedged on an idle session")
+	}
+}
+
+// TestLoadStore: a store file registers and serves identically to the
+// in-memory graph it was written from.
+func TestLoadStore(t *testing.T) {
+	g := graph.GNP(35, 0.2, 9)
+	path := t.TempDir() + "/g.store"
+	if err := store.Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 2})
+	info, err := s.LoadStore("disk", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 35 {
+		t.Fatalf("info.N=%d", info.N)
+	}
+	direct := New(Options{Workers: 2})
+	if err := direct.AddGraph("disk", g); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []string{"info disk", "stats disk", "color disk congest", "color disk greedy"} {
+		a, b := session(t, s, req)[0], session(t, direct, req)[0]
+		if a != b {
+			t.Fatalf("%q: store-backed %q != in-memory %q", req, a, b)
+		}
+	}
+}
+
+// TestWorkerPoolBounds: with a single worker, concurrent sessions still
+// all complete (the pool queues rather than rejects).
+func TestWorkerPoolBounds(t *testing.T) {
+	s := newTestServer(t, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := session(t, s, "color grid greedy")[0]; !strings.HasPrefix(got, "ok ") {
+				t.Error(got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPanicIsolated: a request that panics inside dispatch answers err
+// and the session keeps serving. Exercised through an unregistered
+// nil-graph entry, the only way to force a panic without reaching into
+// algorithm internals.
+func TestPanicIsolated(t *testing.T) {
+	s := newTestServer(t, 1)
+	s.graphs["bad"] = &entry{} // nil graph: any access panics
+	got := session(t, s, "info bad", "ping")
+	if !strings.HasPrefix(got[0], "err internal:") {
+		t.Fatalf("panicking request answered %q", got[0])
+	}
+	if got[1] != "ok pong" {
+		t.Fatalf("session dead after a panicking request: %q", got[1])
+	}
+}

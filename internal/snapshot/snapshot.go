@@ -51,9 +51,23 @@ const (
 	// randomness only ever enters through the instance generators' seeds
 	// — so this section is an audit trail, not restored machine state.
 	SecRNG uint32 = 6
+
+	// IDs 16–18 belong to the persistent graph store (internal/store),
+	// which reuses this container for its on-disk format. They are
+	// registered here so the one ID space stays collision-free; the
+	// section payloads are defined by the store package.
+
+	// SecStoreMeta fingerprints a graph-store file and records its
+	// shape (n, m, Δ) plus alignment padding for the raw sections.
+	SecStoreMeta uint32 = 16
+	// SecStoreOff is the raw little-endian int32 CSR offset table.
+	SecStoreOff uint32 = 17
+	// SecStoreNbr is the raw little-endian int32 CSR arc arena.
+	SecStoreNbr uint32 = 18
 )
 
-// maxSections bounds the section table; format v1 defines six IDs.
+// maxSections bounds the section table; format v1 defines six
+// checkpoint IDs plus the three graph-store IDs.
 const maxSections = 64
 
 // Section is one tagged blob of a snapshot.

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Test seams: the durability test stubs these to prove the sync calls
+// happen (and in the right order) without needing to cut power.
+var (
+	syncFile = (*os.File).Sync
+	syncDir  = (*os.File).Sync
+)
+
+// WriteFileAtomic writes data to path durably and atomically: the bytes
+// go to a temp file in the same directory, the temp file is fsynced,
+// then renamed over path, then the parent directory is fsynced. The
+// rename makes the swap atomic (a crash never destroys the previous
+// good file), and the two fsyncs make it durable — without them a
+// power loss shortly after the rename can surface an empty or torn
+// file even though the rename "succeeded", because neither the data
+// blocks nor the directory entry were on disk yet.
+//
+// Every file the repository writes through a temp-and-rename dance
+// (graph stores, `graphstore ingest` output, colorcli checkpoints)
+// goes through this one helper.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := syncFile(tmp); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Persist the directory entry: the rename is only durable once the
+	// directory's own data is synced.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return syncDir(d)
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomicDurable is the regression test for the fsync-less
+// temp-and-rename helper colorcli used to carry: WriteFileAtomic must
+// sync the temp file BEFORE the rename and the parent directory AFTER
+// it — without both, a power loss after a "successful" checkpoint write
+// can surface an empty or torn file. The test stubs the sync seams to
+// record the order; the pre-fix code made neither call.
+func TestWriteFileAtomicDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	var calls []string
+	origFile, origDir := syncFile, syncDir
+	defer func() { syncFile, syncDir = origFile, origDir }()
+	syncFile = func(f *os.File) error {
+		if !strings.HasPrefix(filepath.Base(f.Name()), ".atomic-") {
+			t.Errorf("file sync on %q, want the temp file", f.Name())
+		}
+		if _, err := os.Lstat(path); err == nil {
+			t.Error("target already renamed into place before the temp-file sync")
+		}
+		calls = append(calls, "file")
+		return origFile(f)
+	}
+	syncDir = func(f *os.File) error {
+		if f.Name() != dir {
+			t.Errorf("dir sync on %q, want %q", f.Name(), dir)
+		}
+		if _, err := os.Lstat(path); err != nil {
+			t.Error("dir synced before the rename landed")
+		}
+		calls = append(calls, "dir")
+		return origDir(f)
+	}
+
+	if err := WriteFileAtomic(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != "file" || calls[1] != "dir" {
+		t.Fatalf("sync calls %v, want [file dir]", calls)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("reopened file holds %q (%v)", got, err)
+	}
+}
+
+// TestWriteFileAtomicPreservesOldFile: a failed write (the temp-file
+// sync here) leaves the previous good file untouched and no temp
+// droppings behind.
+func TestWriteFileAtomicPreservesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.snap")
+	if err := WriteFileAtomic(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+
+	origFile := syncFile
+	syncFile = func(*os.File) error { return errors.New("disk full") }
+	defer func() { syncFile = origFile }()
+	if err := WriteFileAtomic(path, []byte("torn")); err == nil {
+		t.Fatal("write reported success although the data sync failed")
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good" {
+		t.Fatalf("previous file holds %q (%v), want %q", got, err, "good")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d directory entries after a failed write, want only the old file", len(entries))
+	}
+}
+
+// TestWriteFileAtomicOverwrite: the rename path replaces an existing
+// file atomically and the reopened content is the new payload.
+func TestWriteFileAtomicOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	for _, payload := range []string{"first", "second longer payload"} {
+		if err := WriteFileAtomic(path, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != payload {
+			t.Fatalf("reopened %q (%v), want %q", got, err, payload)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzIngest pins the untrusted-input contract of the whole store
+// pipeline: arbitrary edge-list text never panics Ingest, and whenever
+// it parses, the resulting graph survives store encode → validated load
+// bit-identically (graph.Equal) — the satellite-4 round-trip property.
+func FuzzIngest(f *testing.F) {
+	f.Add("")
+	f.Add("# comment only\n\n")
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("100 200\n200,300\n300\t100\t0.75\n")
+	f.Add("a b c\n")
+	f.Add("7\n")
+	f.Add("42 42\n0 1\n0 1\n1 0\n")
+	f.Add("-1 5\n")
+	f.Add("18446744073709551615 0\n")
+	f.Add("99999999999999999999 1\n")
+	f.Add("0 1;2 3\r\n% x\n//\n#\n")
+	f.Add(strings.Repeat("1 2 ", 100))
+	f.Fuzz(func(t *testing.T, text string) {
+		g, stats, err := Ingest(strings.NewReader(text))
+		if err != nil {
+			if g != nil || stats != nil {
+				t.Fatal("ingest returned results alongside its error")
+			}
+			return
+		}
+		if stats.Edges != g.M() {
+			t.Fatalf("stats claim %d edges, graph has %d", stats.Edges, g.M())
+		}
+		if stats.Nodes != g.N() {
+			t.Fatalf("stats claim %d nodes, graph has %d", stats.Nodes, g.N())
+		}
+		raw := EncodeGraph(g)
+		dec, info, err := DecodeGraph(raw)
+		if err != nil {
+			t.Fatalf("a just-encoded store failed validated decode: %v", err)
+		}
+		if !g.Equal(dec) {
+			t.Fatal("store round trip changed the ingested graph")
+		}
+		if info.Bytes != len(raw) {
+			t.Fatalf("info reports %d bytes for a %d-byte container", info.Bytes, len(raw))
+		}
+	})
+}
+
+// FuzzStoreDecode: arbitrary bytes through the store decoder never
+// panic — they decode to a valid graph or fail with an error.
+func FuzzStoreDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SBWSNAP1"))
+	g, _, err := Ingest(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw := EncodeGraph(g)
+	f.Add(raw)
+	for _, i := range []int{8, 16, 20, len(raw) / 2, len(raw) - 2} {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, _, err := DecodeGraph(data)
+		if err == nil && dec == nil {
+			t.Fatal("nil graph without an error")
+		}
+	})
+}

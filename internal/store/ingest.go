@@ -1,0 +1,185 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"smallbandwidth/internal/graph"
+)
+
+// IngestStats reports what Ingest saw in the input stream.
+type IngestStats struct {
+	Lines      int // total input lines
+	Comments   int // comment or blank lines skipped
+	Edges      int // undirected edges kept
+	Duplicates int // repeated edges dropped (either orientation)
+	SelfLoops  int // self-loop lines dropped
+	Nodes      int // distinct node IDs seen (the dense ID space)
+}
+
+// Ingest reads a textual edge list and builds a graph from it. The
+// grammar accepts what real published edge lists look like:
+//
+//   - one edge per line: two non-negative integer node IDs separated by
+//     whitespace and/or commas; extra columns (weights, timestamps) are
+//     ignored
+//   - blank lines and lines starting with '#', '%', or "//" are
+//     comments
+//   - node IDs are arbitrary uint64s, relabeled to dense 0..N-1 in
+//     first-appearance order (deterministic for a given input)
+//   - duplicate edges (in either orientation) and self-loops are
+//     dropped and counted, as published datasets routinely contain both
+//
+// Everything else — non-numeric tokens, a lone endpoint, more nodes
+// than the int32 ID space, more edges than the arc space — is an error
+// carrying the 1-based line number. The input is untrusted: no input
+// can make Ingest panic (FuzzIngest pins this), because the graph is
+// finalized through graph.BuildChecked, which reports invariant
+// violations instead of throwing them.
+func Ingest(r io.Reader) (*graph.Graph, *IngestStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var (
+		stats  IngestStats
+		ids    = map[uint64]int32{}
+		seen   = map[uint64]struct{}{}
+		us, vs []int32
+	)
+	intern := func(raw uint64) (int32, error) {
+		if id, ok := ids[raw]; ok {
+			return id, nil
+		}
+		if len(ids) >= math.MaxInt32 {
+			return 0, fmt.Errorf("more than %d distinct node IDs", math.MaxInt32)
+		}
+		id := int32(len(ids))
+		ids[raw] = id
+		return id, nil
+	}
+	for sc.Scan() {
+		stats.Lines++
+		line := sc.Text()
+		u64, v64, kind, err := parseEdgeLine(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", stats.Lines, err)
+		}
+		if kind == lineComment {
+			stats.Comments++
+			continue
+		}
+		if u64 == v64 {
+			// Intern the endpoint anyway: a node that only ever appears in
+			// self-loops still exists in the dataset.
+			if _, err := intern(u64); err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", stats.Lines, err)
+			}
+			stats.SelfLoops++
+			continue
+		}
+		u, err := intern(u64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", stats.Lines, err)
+		}
+		v, err := intern(v64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", stats.Lines, err)
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+		if _, dup := seen[key]; dup {
+			stats.Duplicates++
+			continue
+		}
+		if len(us) >= (1<<31-1)/2 {
+			return nil, nil, fmt.Errorf("line %d: %d edges exceed the int32 arc-ID space", stats.Lines, len(us)+1)
+		}
+		seen[key] = struct{}{}
+		us = append(us, u)
+		vs = append(vs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("line %d: %v", stats.Lines+1, err)
+	}
+	stats.Edges = len(us)
+	stats.Nodes = len(ids)
+
+	// The stream was deduplicated above and relabeled to dense in-range
+	// IDs, so the hash-set add would only rebuild a map we already paid
+	// for; BuildChecked's strict-ascent scan still turns any dedup bug
+	// into an error instead of a panic.
+	b := graph.NewBuilder(len(ids))
+	b.Grow(len(us))
+	for i := range us {
+		b.AddUnchecked(int(us[i]), int(vs[i]))
+	}
+	g, err := b.BuildChecked()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, &stats, nil
+}
+
+type lineKind int
+
+const (
+	lineComment lineKind = iota
+	lineEdge
+)
+
+// parseEdgeLine classifies one input line and extracts its endpoints.
+// Separators are any run of spaces, tabs, commas, or semicolons; a
+// trailing '\r' (CRLF input) is stripped.
+func parseEdgeLine(line string) (u, v uint64, kind lineKind, err error) {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	fields := splitFields(line)
+	if len(fields) == 0 {
+		return 0, 0, lineComment, nil
+	}
+	if f := fields[0]; f[0] == '#' || f[0] == '%' || (len(f) >= 2 && f[0] == '/' && f[1] == '/') {
+		return 0, 0, lineComment, nil
+	}
+	if len(fields) < 2 {
+		return 0, 0, lineEdge, fmt.Errorf("expected two node IDs, got %q", line)
+	}
+	u, err = strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return 0, 0, lineEdge, fmt.Errorf("bad node ID %q", fields[0])
+	}
+	v, err = strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, lineEdge, fmt.Errorf("bad node ID %q", fields[1])
+	}
+	return u, v, lineEdge, nil
+}
+
+// splitFields splits on runs of the accepted separators without
+// allocating beyond the field headers.
+func splitFields(line string) []string {
+	var fields []string
+	start := -1
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', ',', ';':
+			if start >= 0 {
+				fields = append(fields, line[start:i])
+				start = -1
+			}
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		fields = append(fields, line[start:])
+	}
+	return fields
+}

@@ -1,0 +1,33 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is returned without a
+// corresponding unmap: store loads are process-lifetime resident (see
+// readOrMmap). PROT_READ means a bug that tried to mutate an adopted
+// CSR arena faults instead of corrupting the file image.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("store: empty file %s", path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("store: %s is too large to map", path)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}

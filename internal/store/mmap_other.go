@@ -1,0 +1,11 @@
+//go:build !linux
+
+package store
+
+import "errors"
+
+// mmapFile is unavailable off Linux; readOrMmap falls back to a plain
+// file read.
+func mmapFile(string) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported on this platform")
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"smallbandwidth/internal/core"
+	"smallbandwidth/internal/graph"
+	"smallbandwidth/internal/snapshot"
+)
+
+// storeGraphs is the seeded graph set the round-trip and differential
+// tests sweep — the conformance-suite shapes plus empty and edgeless
+// corners.
+func storeGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path33":      graph.Path(33),
+		"star17":      graph.Star(16),
+		"regular24-4": graph.MustRandomRegular(24, 4, 11),
+		"gnp28":       graph.GNP(28, 0.15, 7),
+		"clique12":    graph.Complete(12),
+		"grid":        graph.Grid2D(6, 7),
+		"empty":       graph.NewBuilder(0).Build(),
+		"edgeless":    graph.NewBuilder(5).Build(),
+	}
+}
+
+// TestStoreRoundTrip pins the format: encode → decode must produce a
+// bit-identical graph (graph.Equal compares the raw CSR arrays), under
+// both the validating and the trusted load paths, in memory and through
+// a file.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range storeGraphs() {
+		raw := EncodeGraph(g)
+		got, info, err := DecodeGraph(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !g.Equal(got) {
+			t.Fatalf("%s: decoded graph differs", name)
+		}
+		if info.N != g.N() || info.M != g.M() || info.MaxDeg != g.MaxDegree() {
+			t.Fatalf("%s: info %+v disagrees with graph", name, info)
+		}
+
+		path := filepath.Join(dir, name+".store")
+		if err := Write(path, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		for load, fn := range map[string]func(string) (*graph.Graph, *Info, error){"Load": Load, "LoadTrusted": LoadTrusted} {
+			got, _, err := fn(path)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, load, err)
+			}
+			if !g.Equal(got) {
+				t.Fatalf("%s: %s produced a different graph", name, load)
+			}
+		}
+	}
+}
+
+// TestStoreEncodeCanonical pins byte-for-byte determinism: encoding the
+// same graph twice, and encoding a decoded graph, reproduce identical
+// bytes — the property the CRC section table and CI diffing rely on.
+func TestStoreEncodeCanonical(t *testing.T) {
+	g := graph.GNP(40, 0.2, 3)
+	a := EncodeGraph(g)
+	if !bytes.Equal(a, EncodeGraph(g)) {
+		t.Fatal("two encodings of one graph differ")
+	}
+	dec, _, err := DecodeGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, EncodeGraph(dec)) {
+		t.Fatal("decode → encode is not byte-identical")
+	}
+}
+
+// TestStoreDifferentialColoring is the store-level differential test:
+// ColorCONGEST on a loaded graph must report bit-identical Colors and
+// Stats to the same run on the built graph, across the conformance
+// shapes.
+func TestStoreDifferentialColoring(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range storeGraphs() {
+		if g.N() == 0 {
+			continue
+		}
+		path := filepath.Join(dir, name+".store")
+		if err := Write(path, g); err != nil {
+			t.Fatal(err)
+		}
+		loaded, _, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ListColorCONGEST(graph.DeltaPlusOneInstance(g), core.Options{})
+		if err != nil {
+			t.Fatalf("%s: built run: %v", name, err)
+		}
+		got, err := core.ListColorCONGEST(graph.DeltaPlusOneInstance(loaded), core.Options{})
+		if err != nil {
+			t.Fatalf("%s: loaded run: %v", name, err)
+		}
+		if !reflect.DeepEqual(want.Colors, got.Colors) {
+			t.Fatalf("%s: colors differ between built and loaded graphs", name)
+		}
+		if want.Stats != got.Stats {
+			t.Fatalf("%s: stats differ: built %+v loaded %+v", name, want.Stats, got.Stats)
+		}
+	}
+}
+
+// TestStoreRejectsHostileInput: corrupt containers, checkpoint files,
+// and structurally broken CSR payloads all yield errors, never panics
+// or broken graphs.
+func TestStoreRejectsHostileInput(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	raw := EncodeGraph(g)
+
+	// Bit-flip every byte in turn: each flip must either fail CRC/parse
+	// or still decode to a valid graph (flips inside ignored regions
+	// don't exist in this format, but the contract is "no panic, no
+	// broken graph", not "always an error").
+	for i := range raw {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x40
+		if dec, _, err := DecodeGraph(mut); err == nil {
+			if dec.N() < 0 || dec.NumArcs()%2 != 0 {
+				t.Fatalf("flip at %d produced a broken graph", i)
+			}
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{0, 1, len(raw) / 2, len(raw) - 1} {
+		if _, _, err := DecodeGraph(raw[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	// A checkpoint-shaped container (no store sections) is refused with
+	// a pointed error.
+	cp := snapshot.Encode(&snapshot.Container{Version: snapshot.Version, Sections: []snapshot.Section{
+		{ID: snapshot.SecMeta, Data: []byte("congest/listcolor/v1")},
+	}})
+	if _, _, err := DecodeGraph(cp); err == nil {
+		t.Fatal("a checkpoint container decoded as a store")
+	}
+
+	// An asymmetric arc arena passes shape checks but must be rejected
+	// by the validating load. Build it by hand-crafting sections.
+	off := []int32{0, 1, 2, 2}
+	nbr := []int32{1, 2}
+	hostile := encodeRaw(t, 3, 1, 1, off, nbr)
+	if _, _, err := DecodeGraph(hostile); err == nil {
+		t.Fatal("validating decode accepted an asymmetric arc arena")
+	}
+}
+
+// encodeRaw assembles a store container from raw arrays without going
+// through a Graph — the attacker's encoder.
+func encodeRaw(t *testing.T, n, m, maxDeg int, off, nbr []int32) []byte {
+	t.Helper()
+	meta := &snapshot.Enc{}
+	meta.Blob([]byte(Fingerprint))
+	meta.Uvarint(uint64(n))
+	meta.Uvarint(uint64(m))
+	meta.Uvarint(uint64(maxDeg))
+	header := 16 + 12*3
+	pad := make([]byte, (4-(header+len(meta.Bytes()))%4)%4)
+	return snapshot.Encode(&snapshot.Container{Version: snapshot.Version, Sections: []snapshot.Section{
+		{ID: snapshot.SecStoreMeta, Data: append(meta.Bytes(), pad...)},
+		{ID: snapshot.SecStoreOff, Data: int32Bytes(off)},
+		{ID: snapshot.SecStoreNbr, Data: int32Bytes(nbr)},
+	}})
+}
+
+// TestStoreZeroCopyAligned pins the zero-copy load path on the platform
+// CI runs on: a file loaded on a little-endian host reports ZeroCopy,
+// i.e. the CSR arrays alias the file buffer instead of being rebuilt.
+func TestStoreZeroCopyAligned(t *testing.T) {
+	if !nativeLE {
+		t.Skip("copying decode expected on a big-endian host")
+	}
+	path := filepath.Join(t.TempDir(), "g.store")
+	if err := Write(path, graph.GNP(50, 0.2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := DecodeGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ZeroCopy {
+		t.Fatal("aligned little-endian decode did not take the zero-copy path")
+	}
+	info2, err := ReadInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.N != 50 {
+		t.Fatalf("ReadInfo n=%d", info2.N)
+	}
+}
