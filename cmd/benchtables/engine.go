@@ -17,6 +17,7 @@ import (
 
 	sb "smallbandwidth"
 	"smallbandwidth/internal/enginebench"
+	"smallbandwidth/internal/store"
 )
 
 // EngineWorkload is one measured engine run.
@@ -337,5 +338,7 @@ func recordBench(path, label, schema, source string, workloads []EngineWorkload)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// BENCH_*.json records are merged into (not regenerated), so a torn
+	// write would destroy history: go through the durable rename path.
+	return store.WriteFileAtomic(path, append(data, '\n'))
 }

@@ -49,9 +49,22 @@ func main() {
 
 	// -checkpoint-every only has an implementation for the two resumable
 	// pipelines; anywhere else it used to be silently ignored, leaving
-	// the user without the checkpoints they asked for.
+	// the user without the checkpoints they asked for. The same applies
+	// to a negative interval and to -checkpoint named without an
+	// interval: both used to run to completion without ever writing the
+	// file the user asked for.
+	if *ckEvery < 0 {
+		log.Fatalf("-checkpoint-every must be >= 0, got %d (0 disables checkpointing)", *ckEvery)
+	}
 	if *ckEvery > 0 && *model != "congest" && *model != "decomposed" {
 		log.Fatalf("-checkpoint-every is not supported by -model %s (checkpointing models: congest, decomposed)", *model)
+	}
+	if *ckEvery == 0 {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint" {
+				log.Fatalf("-checkpoint %s without -checkpoint-every N never writes a checkpoint; add -checkpoint-every", *ckFile)
+			}
+		})
 	}
 
 	g := buildGraph(*graphKind, *n, *d, *p, *seed)
@@ -129,6 +142,16 @@ func main() {
 }
 
 func buildGraph(kind string, n, d int, p float64, seed uint64) *sb.Graph {
+	// The generators reject out-of-range parameters by panicking
+	// (library callers pass computed sizes); from the command line the
+	// parameters are user input, which must produce a diagnostic, not a
+	// stack trace — e.g. -graph cycle -n 2, or -graph regular with n·d
+	// odd.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("invalid -graph %s parameters (n=%d d=%d): %v", kind, n, d, r)
+		}
+	}()
 	side := int(math.Sqrt(float64(n)))
 	if side < 2 {
 		side = 2
@@ -176,7 +199,7 @@ func buildGraph(kind string, n, d int, p float64, seed uint64) *sb.Graph {
 // component, so `colorcli -resume FILE` needs no other flags.
 func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONGESTResult, error) {
 	opts := sb.CONGESTOptions{}
-	cuts := 0
+	cuts, writes := 0, 0
 	ck := &congest.Checkpointer{}
 	ck.OnCut = func(*congest.DomainCut) {
 		cuts++
@@ -187,10 +210,17 @@ func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONG
 		if err := store.WriteFileAtomic(file, raw); err != nil {
 			log.Fatalf("checkpoint: %v", err)
 		}
+		writes++
 	}
 	res, err := core.ListColorResumable(inst, opts, ck, nil)
-	if err == nil && cuts > 0 {
-		fmt.Printf("checkpoints: %d cuts observed, latest written to %s\n", cuts, file)
+	// Report only what actually hit disk: a run whose cut count never
+	// reached the interval used to claim "latest written to FILE" while
+	// writing nothing — and a stale same-named file from an earlier run
+	// made the lie look true.
+	if err == nil && writes > 0 {
+		fmt.Printf("checkpoints: %d of %d cuts written, latest to %s\n", writes, cuts, file)
+	} else if err == nil && cuts > 0 {
+		fmt.Printf("checkpoints: none written (%d cuts observed, below -checkpoint-every %d)\n", cuts, every)
 	}
 	return res, err
 }
@@ -199,7 +229,7 @@ func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONG
 // pipeline checkpoints at class boundaries.
 func runDecomposedCheckpointed(inst *sb.Instance, every int, file string) (*sb.DecompResult, error) {
 	opts := sb.CONGESTOptions{}
-	classes := 0
+	classes, writes := 0, 0
 	onCk := func(cp *netdecomp.PipelineCheckpoint) {
 		classes++
 		if classes%every != 0 {
@@ -209,10 +239,13 @@ func runDecomposedCheckpointed(inst *sb.Instance, every int, file string) (*sb.D
 		if err := store.WriteFileAtomic(file, raw); err != nil {
 			log.Fatalf("checkpoint: %v", err)
 		}
+		writes++
 	}
 	res, err := netdecomp.ListColorDecomposedResumable(inst, opts, onCk, nil)
-	if err == nil && classes > 0 {
-		fmt.Printf("checkpoints: %d class boundaries observed, latest written to %s\n", classes, file)
+	if err == nil && writes > 0 {
+		fmt.Printf("checkpoints: %d of %d class boundaries written, latest to %s\n", writes, classes, file)
+	} else if err == nil && classes > 0 {
+		fmt.Printf("checkpoints: none written (%d class boundaries observed, below -checkpoint-every %d)\n", classes, every)
 	}
 	return res, err
 }

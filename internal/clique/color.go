@@ -592,6 +592,7 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 	assigned := map[int]uint32{}
 	// Deterministic order: ascending node ID.
 	ids := make([]int, 0, len(sub))
+	//sbw:orderinvariant key collection only; ids is sorted before any order-sensitive use
 	for v := range sub {
 		ids = append(ids, v)
 	}
@@ -615,9 +616,12 @@ func (st *cliqueRun) localFinish(inst *graph.Instance) error {
 			return fmt.Errorf("clique: leader greedy failed at node %d", v)
 		}
 	}
-	// Distribute colors (1 round; the leader unicasts each node its color).
+	// Distribute colors (1 round; the leader unicasts each node its
+	// color) in ascending node ID — the sorted ids slice, not the
+	// assigned map, so the leader's outbox order is deterministic.
 	outX := NewOut(st.n)
-	for v, c := range assigned {
+	for _, v := range ids {
+		c := assigned[v]
 		if v == 0 {
 			st.nodes[0].color = c
 			st.nodes[0].colored = true

@@ -127,6 +127,7 @@ func (ck *Checkpointer) Latest() *RunSnapshot {
 		return nil
 	}
 	snap := &RunSnapshot{Cuts: make([]DomainCut, 0, len(ck.latest))}
+	//sbw:orderinvariant cut collection only; Cuts is sorted by Root before the snapshot is returned
 	for _, cut := range ck.latest {
 		snap.Cuts = append(snap.Cuts, *cut)
 	}
@@ -153,12 +154,14 @@ func (ck *Checkpointer) At(k int) *RunSnapshot {
 		return best
 	}
 	if ck.KeepAll {
+		//sbw:orderinvariant per-domain best-cut selection; Cuts is sorted by Root before the snapshot is returned
 		for _, cuts := range ck.all {
 			if best := pick(cuts); best != nil {
 				snap.Cuts = append(snap.Cuts, *best)
 			}
 		}
 	} else {
+		//sbw:orderinvariant cut collection only; Cuts is sorted by Root before the snapshot is returned
 		for _, cut := range ck.latest {
 			if cut.Round <= k {
 				snap.Cuts = append(snap.Cuts, *cut)
@@ -176,17 +179,20 @@ func (ck *Checkpointer) CutRounds() []int {
 	defer ck.mu.Unlock()
 	seen := make(map[int]struct{})
 	if ck.KeepAll {
+		//sbw:orderinvariant fills a set; the set's contents do not depend on insertion order
 		for _, cuts := range ck.all {
 			for _, c := range cuts {
 				seen[c.Round] = struct{}{}
 			}
 		}
 	} else {
+		//sbw:orderinvariant fills a set; the set's contents do not depend on insertion order
 		for _, c := range ck.latest {
 			seen[c.Round] = struct{}{}
 		}
 	}
 	rounds := make([]int, 0, len(seen))
+	//sbw:orderinvariant key collection only; rounds is sorted before being returned
 	for r := range seen {
 		rounds = append(rounds, r)
 	}

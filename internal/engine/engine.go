@@ -670,6 +670,7 @@ func (r *runner) completeRound() {
 				// the skipped rounds) instead of ticking them one by one.
 				r.skipMu.Lock()
 				minWake := 0
+				//sbw:orderinvariant min-reduction over the wake rounds; the minimum is order-independent
 				for round := range r.skipAt {
 					if minWake == 0 || round < minWake {
 						minWake = round
@@ -844,6 +845,7 @@ func wakeNodes(ws []*Ctx) {
 // unwind.
 func (r *runner) wakeAllSleepers() {
 	r.skipMu.Lock()
+	//sbw:orderinvariant abort/deadlock teardown; every group is closed and the run reports failure regardless of wake order
 	for round, g := range r.skipAt {
 		delete(r.skipAt, round)
 		close(g.ch)
@@ -899,6 +901,7 @@ func (r *runner) runShard(wid int) {
 // and a sender's outbox slot and sentNow flag for an edge are touched
 // only by the worker owning the receiving endpoint, so delivery needs no
 // locks.
+//sbw:allocfree engine delivery inner loop: one call per receiver shard per round
 func (r *runner) deliverRange(lo, hi, wid int) {
 	ws := &r.wstats[wid]
 	for idx := lo; idx < hi; idx++ {
@@ -930,7 +933,7 @@ func (r *runner) deliverRange(lo, hi, wid int) {
 					backlog = true
 				}
 				sc.sentNow[slot] = false
-				buf = append(buf, Incoming{From: int(w), Payload: msg})
+				buf = append(buf, Incoming{From: int(w), Payload: msg}) //sbw:allocok amortized: inboxes are double-buffered and recycled across rounds; steady-state capacity never grows
 				delivered = true
 				ws.Note(len(msg))
 			}
@@ -941,7 +944,7 @@ func (r *runner) deliverRange(lo, hi, wid int) {
 			r.rdirty[idx].Store(false)
 		}
 		if delivered && c.waiting {
-			r.wokenByShard[wid] = append(r.wokenByShard[wid], c)
+			r.wokenByShard[wid] = append(r.wokenByShard[wid], c) //sbw:allocok amortized: per-shard woken list is reset, not reallocated, each round
 		}
 	}
 }

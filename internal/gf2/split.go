@@ -117,6 +117,7 @@ var splitPool = sync.Pool{New: func() any { return new(SplitBasis) }}
 // the conditional-expectation loop's candidate bit (bits are examined in
 // order and only earlier ones are fixed); ok reports whether that held.
 // Release the result with Release when done.
+//sbw:allocfree Theorem 1.1 phase-step kernel: one Split per seed bit per node per phase
 func (bs *Basis) Split(bit int) (sb *SplitBasis, ok bool) {
 	u := UnitVec(bit)
 	if !bs.fixedMask.And(u).IsZero() {
@@ -135,7 +136,7 @@ func (bs *Basis) Split(bit int) (sb *SplitBasis, ok bool) {
 	sb.hiRows = bs.hiRows
 	for i := range bs.rows {
 		r := &bs.rows[i]
-		sb.rows = append(sb.rows, splitRow{mask: r.mask, piv: UnitVec(r.pivot), rhs0: r.rhs, rhs1: r.rhs})
+		sb.rows = append(sb.rows, splitRow{mask: r.mask, piv: UnitVec(r.pivot), rhs0: r.rhs, rhs1: r.rhs}) //sbw:allocok amortized: sb comes from splitPool with its row capacity retained; TestPhaseStepAllocFree pins the steady state at 0 allocs
 	}
 	return sb, true
 }
@@ -143,11 +144,12 @@ func (bs *Basis) Split(bit int) (sb *SplitBasis, ok bool) {
 // Release returns the SplitBasis (and its scratch) to the pool.
 func (sb *SplitBasis) Release() { splitPool.Put(sb) }
 
+//sbw:allocfree phase-step kernel: clone target comes from the split pool
 func (sb *SplitBasis) cloneInto(dst *SplitBasis) *SplitBasis {
 	dst.fixedMask = sb.fixedMask
 	dst.fixedVals = sb.fixedVals
 	dst.split = sb.split
-	dst.rows = append(dst.rows[:0], sb.rows...)
+	dst.rows = append(dst.rows[:0], sb.rows...) //sbw:allocok amortized: dst comes from splitPool with its row capacity retained
 	dst.hiRows = sb.hiRows
 	return dst
 }
@@ -159,6 +161,7 @@ func splitFromPool(sb *SplitBasis) *SplitBasis {
 // reduce eliminates the stored constraints from the form (mask, c),
 // returning the shared residual mask and the branch right-hand sides of
 // the event "form = false".
+//sbw:allocfree phase-step kernel: per-form residual reduction, innermost loop
 func (sb *SplitBasis) reduce(mask Vec128, c bool) (Vec128, bool, bool) {
 	rhs0, rhs1 := c, c
 	if mask.Hi == 0 && !sb.hiRows {
@@ -199,6 +202,7 @@ func (sb *SplitBasis) reduce(mask Vec128, c bool) (Vec128, bool, bool) {
 // addReduced inserts the pre-reduced residual of "form = val" and
 // returns each branch's AddResult. Independence is mask-determined and
 // thus shared; a zero residual classifies per branch.
+//sbw:allocfree phase-step kernel: row insertion on the pooled walk basis
 func (sb *SplitBasis) addReduced(mask Vec128, rhs0, rhs1, val bool) (AddResult, AddResult) {
 	rhs0 = rhs0 != val
 	rhs1 = rhs1 != val
@@ -212,7 +216,7 @@ func (sb *SplitBasis) addReduced(mask Vec128, rhs0, rhs1, val bool) (AddResult, 
 		}
 		return a0, a1
 	}
-	sb.rows = append(sb.rows, splitRow{mask: mask, piv: UnitVec(mask.LowestBit()), rhs0: rhs0, rhs1: rhs1})
+	sb.rows = append(sb.rows, splitRow{mask: mask, piv: UnitVec(mask.LowestBit()), rhs0: rhs0, rhs1: rhs1}) //sbw:allocok amortized: pooled walk basis retains row capacity across evaluations
 	if mask.Hi != 0 {
 		sb.hiRows = true
 	}
@@ -226,6 +230,7 @@ func (sb *SplitBasis) addReduced(mask Vec128, rhs0, rhs1, val bool) (AddResult, 
 // callers whose branch already died upstream; a dead branch's
 // accumulator returns 0). The walk keeps adding the shared mask rows
 // after a single branch dies — the survivor still needs them.
+//sbw:allocfree phase-step kernel: dual-branch ProbLess walk on a pooled basis
 func probLessPairInPlace(w *SplitBasis, forms []Form, t uint64, alive0, alive1 bool) (p0, p1 float64) {
 	b := len(forms)
 	if t == 0 {
@@ -293,6 +298,7 @@ type residPair struct {
 // residual reduces a form against the conditioned basis only (fixed
 // bits and source rows) — the part shared by every walk of one edge
 // evaluation.
+//sbw:allocfree phase-step kernel: shared residual of one edge evaluation
 func (sb *SplitBasis) residual(fo Form) residPair {
 	mask, rhs0, rhs1 := sb.reduce(fo.Mask, fo.Const)
 	return residPair{mask: mask, rhs0: rhs0, rhs1: rhs1}
@@ -307,6 +313,7 @@ func (sb *SplitBasis) residual(fo Form) residPair {
 // only the constraints that are actually new — the residuals already
 // absorbed the outer context. Classifications, terms, and order are
 // exactly those of probLessPairInPlace on an equivalent SplitBasis.
+//sbw:allocfree phase-step kernel: stack-array walk, the hottest loop of the derandomization
 func innerPairWalk(rows *[64]splitRow, res []residPair, t uint64, atom *splitRow, alive0, alive1 bool) (p0, p1 float64) {
 	b := len(res)
 	if t == 0 {
@@ -386,6 +393,7 @@ func innerPairWalk(rows *[64]splitRow, res []residPair, t uint64, atom *splitRow
 // prefix rows), and all walk rows live on the stack. Every output is
 // bit-identical to the corresponding single-query evaluations
 // (ProbOnePair, and ProbBothLessMarginal on a conditioned Basis).
+//sbw:allocfree phase-step kernel: six edge probabilities per owned edge per seed bit
 func (sb *SplitBasis) EdgePair(c1, c2 Coin) (p1u0, p1v0, p110, p1u1, p1v1, p111 float64) {
 	fu, tu, fv, tv := c1.forms, c1.t, c2.forms, c2.t
 	if !sb.hiRows && c1.lo && c2.lo {
@@ -751,6 +759,7 @@ func (sb *SplitBasis) probLessPairClone(forms []Form, t uint64) (float64, float6
 }
 
 // ProbOnePair returns Pr[C = 1] under branch 0 and branch 1.
+//sbw:allocfree phase-step kernel: neighbor-marginal walk, memo-miss path
 func (sb *SplitBasis) ProbOnePair(c Coin) (p0, p1 float64) {
 	if c.t == 0 {
 		return 0, 0
@@ -777,6 +786,7 @@ func (sb *SplitBasis) ProbOnePair(c Coin) (p0, p1 float64) {
 // the conditioning): it returns only the C1 marginal and the joint
 // probabilities, skipping C2's marginal walk. pv0/pv1 must equal
 // ProbOnePair(c2) under this basis — the tu ≥ 2^b boundary reuses them.
+//sbw:allocfree phase-step kernel: memo-hit variant of EdgePair
 func (sb *SplitBasis) EdgePairGivenMarginal(c1, c2 Coin, pv0, pv1 float64) (p1u0, p110, p1u1, p111 float64) {
 	if !sb.hiRows && c1.lo && c2.lo {
 		return sb.loJointPair(c1.forms, c1.t, c2.forms, c2.t, pv0, pv1)

@@ -131,6 +131,7 @@ func randomSubset(src *prng.Source, c uint32, k int) []uint32 {
 		}
 	}
 	out := make([]uint32, 0, k)
+	//sbw:orderinvariant key collection only; out is sorted before being returned
 	for v := range chosen {
 		out = append(out, v)
 	}

@@ -1,0 +1,208 @@
+// Package allocfree statically polices the zero-allocation hot paths.
+// Functions annotated
+//
+//	//sbw:allocfree <which hot loop this is>
+//
+// in their doc comment (the Theorem 1.1 phase-step kernels, the engine
+// delivery inner loops) may not contain allocation-introducing
+// constructs. The dynamic TestPhaseStepAllocFree proves the steady
+// state allocates nothing; this pass catches the regression at vet time
+// and in every function the dynamic test doesn't reach.
+//
+// Flagged: new, make, append, slice/map composite literals and
+// &T{...} literals (value struct literals stay on the stack and are
+// allowed), string concatenation, closures (FuncLit), calls into fmt
+// or errors (formatting and wrapping allocate by design), and
+// conversions of non-pointer-shaped concrete values to interface types
+// (each one boxes). A reviewed cold path inside a hot function —
+// a panic on a broken invariant, a pool refill — carries
+//
+//	//sbw:allocok <why this path is cold or amortized>
+//
+// on its line or the line above.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smallbandwidth/internal/lint/analysis"
+)
+
+// Analyzer is the allocfree pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "functions annotated //sbw:allocfree may not allocate: no new/make/append, no slice/map/& literals, no string concat, no closures, no fmt/errors, no interface boxing; //sbw:allocok <reason> waives a reviewed cold path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		fd := pass.FileDirs(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var tag *analysis.Directive
+			for _, d := range analysis.GroupDirectives(fn.Doc, pass.Fset) {
+				if d.Name == "allocfree" {
+					tag = &d
+					break
+				}
+			}
+			if tag == nil || tag.Reason == "" {
+				continue
+			}
+			checkFunc(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *analysis.FileDirectives, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	waived := func(n ast.Node) bool { return fd.Waived(pass.NodeLine(n), "allocok") }
+	report := func(n ast.Node, format string, args ...any) {
+		if !waived(n) {
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+	// pointerShaped: values whose interface representation reuses the
+	// value word, so boxing does not allocate.
+	pointerShaped := func(t types.Type) bool {
+		switch t.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			return true
+		case *types.Basic:
+			return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+		}
+		return false
+	}
+	isInterface := func(t types.Type) bool {
+		_, ok := t.Underlying().(*types.Interface)
+		return ok
+	}
+	boxes := func(arg ast.Expr, to types.Type) bool {
+		if !isInterface(to) {
+			return false
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		from := types.Default(tv.Type)
+		if isInterface(from) || pointerShaped(from) {
+			return false
+		}
+		if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure in //sbw:allocfree function %s: the FuncLit (and captured variables) allocate; hoist it or annotate //sbw:allocok <reason>", fn.Name.Name)
+			return false // its body runs outside this hot path
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(n, "%s literal in //sbw:allocfree function %s allocates; reuse a buffer or annotate //sbw:allocok <reason>", kindName(tv.Type), fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, "&literal in //sbw:allocfree function %s escapes to the heap; reuse a struct or annotate //sbw:allocok <reason>", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation in //sbw:allocfree function %s allocates; annotate //sbw:allocok <reason> if cold", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "new", "make", "append":
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						report(n, "%s in //sbw:allocfree function %s allocates (or may grow); preallocate outside the hot loop or annotate //sbw:allocok <reason>", id.Name, fn.Name.Name)
+						return true
+					}
+				}
+			}
+			if pkg := calleePackage(info, n); pkg == "fmt" || pkg == "errors" {
+				report(n, "%s call in //sbw:allocfree function %s: formatting/wrapping allocates; annotate //sbw:allocok <reason> if this is a cold failure path", pkg, fn.Name.Name)
+				return true // don't double-report its boxed arguments
+			}
+			tv, ok := info.Types[n.Fun]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if tv.IsType() {
+				// Explicit conversion: interface target boxes.
+				if len(n.Args) == 1 && boxes(n.Args[0], tv.Type) {
+					report(n, "conversion of non-pointer value to interface in //sbw:allocfree function %s boxes (allocates); annotate //sbw:allocok <reason> if cold", fn.Name.Name)
+				}
+				return true
+			}
+			sig, ok := tv.Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			params := sig.Params()
+			for i, arg := range n.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					if n.Ellipsis != token.NoPos {
+						continue // slice passed through, no per-element boxing
+					}
+					pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if pt != nil && boxes(arg, pt) {
+					report(arg, "argument %s boxes a non-pointer value into an interface parameter in //sbw:allocfree function %s; annotate //sbw:allocok <reason> if cold", types.ExprString(arg), fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// calleePackage returns the import path of the called function's
+// package, or "" for local/builtin/method calls it cannot attribute.
+func calleePackage(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	xid, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[xid].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

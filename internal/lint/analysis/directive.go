@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces an sbw annotation: a line comment of the
+// form
+//
+//	//sbw:<name> <justification>
+//
+// attached to the line it appears on, to the line immediately below
+// (comment-above form), or — for the file-scoped names — anywhere in
+// the file. The grammar is deliberately rigid: no space before "sbw:",
+// the name runs to the first space, everything after it is the
+// justification. A malformed directive ("// sbw:...", unknown name,
+// empty justification) fails safe: the waiver is not granted and the
+// sbwdirective grammar check reports it.
+const DirectivePrefix = "//sbw:"
+
+// Directive is one parsed //sbw: annotation.
+type Directive struct {
+	Name   string // "orderinvariant", "nondet", ...
+	Reason string // justification; analyzers require non-empty
+	Pos    token.Pos
+	Line   int
+}
+
+// ParseDirective parses one comment. ok is false when the comment is
+// not an sbw directive at all.
+func ParseDirective(c *ast.Comment, fset *token.FileSet) (d Directive, ok bool) {
+	if !strings.HasPrefix(c.Text, DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := c.Text[len(DirectivePrefix):]
+	name, reason, _ := strings.Cut(rest, " ")
+	return Directive{
+		Name:   strings.TrimSpace(name),
+		Reason: strings.TrimSpace(reason),
+		Pos:    c.Pos(),
+		Line:   fset.Position(c.Pos()).Line,
+	}, true
+}
+
+// GroupDirectives returns every sbw directive in a comment group (nil
+// group is fine).
+func GroupDirectives(g *ast.CommentGroup, fset *token.FileSet) []Directive {
+	if g == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range g.List {
+		if d, ok := ParseDirective(c, fset); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FileDirectives indexes every sbw directive in one file by line.
+type FileDirectives struct {
+	All    []Directive
+	byLine map[int][]Directive
+}
+
+// FileDirs returns the directive index for f, building it on first use.
+func (p *Pass) FileDirs(f *ast.File) *FileDirectives {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]*FileDirectives)
+	}
+	if fd, ok := p.directives[f]; ok {
+		return fd
+	}
+	fd := &FileDirectives{byLine: make(map[int][]Directive)}
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if d, ok := ParseDirective(c, p.Fset); ok {
+				fd.All = append(fd.All, d)
+				fd.byLine[d.Line] = append(fd.byLine[d.Line], d)
+			}
+		}
+	}
+	p.directives[f] = fd
+	return fd
+}
+
+// Covering returns the named directive attached to the given line: on
+// the line itself (trailing comment) or on the line directly above.
+func (fd *FileDirectives) Covering(line int, name string) *Directive {
+	for _, candidates := range [2][]Directive{fd.byLine[line], fd.byLine[line-1]} {
+		for i := range candidates {
+			if candidates[i].Name == name {
+				return &candidates[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Anywhere returns the named directive if it appears anywhere in the
+// file (file-scoped names like stickydecoder).
+func (fd *FileDirectives) Anywhere(name string) *Directive {
+	for i := range fd.All {
+		if fd.All[i].Name == name {
+			return &fd.All[i]
+		}
+	}
+	return nil
+}
+
+// Waived reports whether the named waiver covers line with a non-empty
+// justification. An empty justification grants nothing (and is reported
+// separately by the sbwdirective grammar check).
+func (fd *FileDirectives) Waived(line int, name string) bool {
+	d := fd.Covering(line, name)
+	return d != nil && d.Reason != ""
+}
+
+// NodeLine is the line a node starts on.
+func (p *Pass) NodeLine(n ast.Node) int { return p.Fset.Position(n.Pos()).Line }

@@ -1,0 +1,73 @@
+// Package atomicwrite enforces the durable-write discipline from
+// docs/STORE.md: outside internal/store, nothing writes persistent
+// artifacts with os.WriteFile/os.Create or hand-rolled temp+rename
+// (os.Rename) sequences. store.WriteFileAtomic is the one sanctioned
+// path — it is the only place that gets the ordering right
+// (write → fsync(temp) → close → rename → fsync(dir)); the checkpoint
+// bug PR 7 fixed was precisely a temp+rename dance that skipped both
+// fsyncs and could surface an empty file after a crash that followed a
+// "successful" save.
+//
+// A write that is genuinely non-durable — a scratch file in a test
+// harness, output explicitly allowed to vanish on power loss — carries
+//
+//	//sbw:directwrite <why durability does not matter here>
+//
+// on its line or the line above.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smallbandwidth/internal/lint/analysis"
+	"smallbandwidth/internal/lint/scope"
+)
+
+// Analyzer is the atomicwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "outside internal/store: no os.WriteFile/os.Create/os.Rename — durable artifacts go through store.WriteFileAtomic; //sbw:directwrite <reason> waives genuinely non-durable writes",
+	Run:  run,
+}
+
+// banned maps os functions to what their use implies.
+var banned = map[string]string{
+	"WriteFile": "writes without fsync — a crash after return can surface an empty or torn file",
+	"Create":    "creates/truncates in place — a crash mid-write destroys the previous good file",
+	"Rename":    "a hand-rolled temp+rename sequence skips the fsyncs that make the swap durable",
+}
+
+func run(pass *analysis.Pass) error {
+	if scope.DurableWriter[pass.PkgPath] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		fd := pass.FileDirs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			why, bad := banned[sel.Sel.Name]
+			if !bad {
+				return true
+			}
+			xid, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pass.TypesInfo.Uses[xid].(*types.PkgName); !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			if fd.Waived(pass.NodeLine(sel), "directwrite") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"os.%s outside internal/store: %s; use store.WriteFileAtomic, or annotate //sbw:directwrite <reason> if this artifact is genuinely non-durable",
+				sel.Sel.Name, why)
+			return true
+		})
+	}
+	return nil
+}

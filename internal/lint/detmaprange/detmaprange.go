@@ -1,0 +1,61 @@
+// Package detmaprange flags `for range` over a map inside the
+// deterministic packages. Map iteration order is randomized per run, so
+// any map-range whose body's effects depend on order (message emission,
+// float accumulation, appending to an encoded buffer) breaks the
+// bit-identity guarantee the conformance suite pins — exactly the class
+// of bug that is invisible in a single-seed test and fatal in a
+// cross-shard differential sweep.
+//
+// Order-insensitive loops (collect-keys-then-sort, counting, draining
+// into an order-normalizing structure) are allowlisted with
+//
+//	//sbw:orderinvariant <why the body is order-insensitive>
+//
+// on the range statement's line or the line above. The justification is
+// required: an empty reason grants nothing.
+package detmaprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smallbandwidth/internal/lint/analysis"
+	"smallbandwidth/internal/lint/scope"
+)
+
+// Analyzer is the detmaprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmaprange",
+	Doc:  "flag map iteration in the deterministic packages (order-randomized per run); //sbw:orderinvariant <reason> allowlists order-insensitive loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.Deterministic[pass.PkgPath] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		fd := pass.FileDirs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if fd.Waived(pass.NodeLine(rs), "orderinvariant") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s in deterministic package %s: iteration order is randomized per run; sort the keys or annotate //sbw:orderinvariant <reason>",
+				types.ExprString(rs.X), pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package detsource forbids ambient nondeterminism sources — math/rand,
+// wall-clock reads, environment lookups — in the deterministic packages
+// (plus internal/serve, whose replies must be bit-identical).
+// internal/prng is the one sanctioned randomness source: its stream is
+// part of the reproduction's contract, while math/rand's is not
+// guaranteed stable across Go releases and the global functions seed
+// themselves from the OS. time.Now/time.Since smuggle the host's clock
+// into control flow; os.Getenv smuggles in the host's configuration.
+//
+// A reviewed exception (serve's shutdown read-deadline is the canonical
+// one) carries
+//
+//	//sbw:nondet <why this cannot leak into results>
+//
+// on the offending line or the line above, justification required.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"smallbandwidth/internal/lint/analysis"
+	"smallbandwidth/internal/lint/scope"
+)
+
+// Analyzer is the detsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "forbid math/rand, time.Now/Since/Until, and os.Getenv/LookupEnv/Environ in the deterministic packages; internal/prng is the sanctioned randomness source; //sbw:nondet <reason> for reviewed exceptions",
+	Run:  run,
+}
+
+// bannedCalls maps import path -> function names whose call sites are
+// nondeterminism leaks.
+var bannedCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// bannedImports are packages the deterministic core may not import at
+// all: even a seeded *rand.Rand carries a stream that is not stable
+// across Go releases, and the package-level rand.* functions are
+// self-seeded on top of that.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.DetSource(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		fd := pass.FileDirs(file)
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !bannedImports[path] {
+				continue
+			}
+			if fd.Waived(pass.NodeLine(imp), "nondet") {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s in deterministic package %s: its stream is not stable across Go releases; use internal/prng (or annotate //sbw:nondet <reason>)",
+				path, pass.PkgPath)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			xid, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[xid].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			banned := bannedCalls[pkgName.Imported().Path()]
+			if banned == nil || !banned[sel.Sel.Name] {
+				return true
+			}
+			if fd.Waived(pass.NodeLine(sel), "nondet") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s in deterministic package %s leaks host state into a path that must be bit-identical; annotate //sbw:nondet <reason> only if it provably cannot reach results",
+				pkgName.Imported().Path(), sel.Sel.Name, pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package lint wires the sbwlint analyzer suite to the loader: one call
+// loads a pattern set, runs every analyzer over every package, and
+// returns position-sorted findings. cmd/sbwlint and the in-repo
+// self-check test are both thin wrappers around Run, so the CI gate and
+// `go test ./...` cannot drift apart.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"smallbandwidth/internal/lint/allocfree"
+	"smallbandwidth/internal/lint/analysis"
+	"smallbandwidth/internal/lint/atomicwrite"
+	"smallbandwidth/internal/lint/detmaprange"
+	"smallbandwidth/internal/lint/detsource"
+	"smallbandwidth/internal/lint/load"
+	"smallbandwidth/internal/lint/sbwdirective"
+	"smallbandwidth/internal/lint/stickydecode"
+)
+
+// Suite is the full sbwlint analyzer set: the five invariant analyzers
+// plus the annotation-grammar guard.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmaprange.Analyzer,
+		detsource.Analyzer,
+		stickydecode.Analyzer,
+		allocfree.Analyzer,
+		atomicwrite.Analyzer,
+		sbwdirective.Analyzer,
+	}
+}
+
+// Finding is one reported diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run loads patterns (relative to dir) and applies the whole suite.
+// A type-check error in a target package is an error, not a finding:
+// the gate must not silently skip code it cannot see.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	loader := load.New(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		fs, err := RunPackage(pkg, Suite())
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies analyzers to one loaded package.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			PkgPath:   pkg.PkgPath,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return findings, nil
+}

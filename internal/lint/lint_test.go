@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"testing"
+
+	"smallbandwidth/internal/lint"
+	"smallbandwidth/internal/lint/allocfree"
+	"smallbandwidth/internal/lint/atomicwrite"
+	"smallbandwidth/internal/lint/detmaprange"
+	"smallbandwidth/internal/lint/detsource"
+	"smallbandwidth/internal/lint/linttest"
+	"smallbandwidth/internal/lint/sbwdirective"
+	"smallbandwidth/internal/lint/stickydecode"
+)
+
+// fixtures is the testdata root, relative to the module root. Each
+// fixture package pins one analyzer's positives (every `// want` must
+// fire) and negatives (nothing else may fire).
+const fixtures = "internal/lint/linttest/testdata/src/"
+
+func TestDetMapRangeFixture(t *testing.T) {
+	linttest.Run(t, detmaprange.Analyzer, fixtures+"detmaprange", "smallbandwidth/internal/engine")
+}
+
+// Out of the deterministic scope the same fixture must be silent.
+func TestDetMapRangeOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, detmaprange.Analyzer, fixtures+"detmaprange", "smallbandwidth/cmd/colorcli")
+}
+
+func TestDetSourceFixture(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, fixtures+"detsource", "smallbandwidth/internal/core")
+}
+
+// internal/serve is in detsource's scope too (bit-identical replies).
+func TestDetSourceServeScope(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, fixtures+"detsource", "smallbandwidth/internal/serve")
+}
+
+func TestDetSourceOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, detsource.Analyzer, fixtures+"detsource", "smallbandwidth/cmd/colorcli")
+}
+
+// stickydecode and allocfree scope by annotation, not import path.
+func TestStickyDecodeFixture(t *testing.T) {
+	linttest.Run(t, stickydecode.Analyzer, fixtures+"stickydecode", "")
+}
+
+func TestAllocFreeFixture(t *testing.T) {
+	linttest.Run(t, allocfree.Analyzer, fixtures+"allocfree", "")
+}
+
+func TestAtomicWriteFixture(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, fixtures+"atomicwrite", "")
+}
+
+// As internal/store the same writes are the sanctioned implementation.
+func TestAtomicWriteStoreExempt(t *testing.T) {
+	linttest.RunExpectNone(t, atomicwrite.Analyzer, fixtures+"atomicwrite", "smallbandwidth/internal/store")
+}
+
+func TestSbwDirectiveFixture(t *testing.T) {
+	linttest.Run(t, sbwdirective.Analyzer, fixtures+"sbwdirective", "")
+}
+
+// TestRepoLintClean is the in-test twin of the CI sbwlint gate: the
+// whole module must produce zero findings, so `go test ./...` fails the
+// moment a new violation lands — with or without the CI step.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint pass; skipped in -short")
+	}
+	findings, err := lint.Run(linttest.ModuleRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatalf("sbwlint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("sbwlint: %s", f)
+	}
+}

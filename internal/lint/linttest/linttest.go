@@ -1,0 +1,199 @@
+// Package linttest is the in-repo stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// package from testdata through the same loader the sbwlint driver
+// uses, runs one analyzer over it, and matches the diagnostics against
+// `// want "substring"` comments in the fixture source.
+//
+// Expectation grammar, deliberately smaller than analysistest's:
+//
+//	// want "substr"            a diagnostic on this line whose message
+//	                            contains substr (several per comment OK)
+//	// want:prev "substr"       same, anchored to the previous line —
+//	                            for sites whose own line is a directive
+//	                            comment and cannot carry a second one
+//
+// Matching is exact per line: every want must be hit by a diagnostic
+// and every diagnostic must be claimed by a want, so a fixture pins
+// both the positives and the annotated negatives of its analyzer.
+//
+// Because the scope-sensitive analyzers decide by import path and
+// fixtures live under testdata (import path smallbandwidth/internal/
+// lint/linttest/testdata/...), Run takes an asPkgPath override: the
+// fixture is analyzed as if it were that package. Empty keeps the
+// natural path.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"smallbandwidth/internal/lint/analysis"
+	"smallbandwidth/internal/lint/load"
+)
+
+var (
+	loaderMu sync.Mutex
+	shared   *load.Loader
+)
+
+// ModuleRoot returns the repository's module root, located relative to
+// this source file.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("linttest: runtime.Caller failed")
+	}
+	// internal/lint/linttest/linttest.go -> module root is 3 dirs up.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(thisFile))))
+}
+
+// loadFixture loads the one package at rel (slash path relative to the
+// module root) through the shared loader, so every fixture test reuses
+// one stdlib type-check.
+func loadFixture(t *testing.T, rel string) *load.Package {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if shared == nil {
+		shared = load.New(ModuleRoot(t))
+	}
+	pkgs, err := shared.Load("./" + rel)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", rel, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("linttest: %s resolved to %d packages, want 1", rel, len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("linttest: fixture %s does not type-check: %v", rel, pkg.TypeErrors[0])
+	}
+	return pkg
+}
+
+// diag is one collected diagnostic, resolved to file base name + line.
+type diag struct {
+	file    string
+	line    int
+	message string
+	matched bool
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want(:prev)? "([^"]*)"`)
+
+// collectWants scans every comment of the fixture for expectations.
+func collectWants(pkg *load.Package) []want {
+	var out []want
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] == ":prev" {
+						line--
+					}
+					out = append(out, want{
+						file:   filepath.Base(pos.Filename),
+						line:   line,
+						substr: m[2],
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runAnalyzer applies a to the fixture under the (possibly overridden)
+// import path and returns the diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, pkg *load.Package, asPkgPath string) []diag {
+	t.Helper()
+	pkgPath := pkg.PkgPath
+	if asPkgPath != "" {
+		pkgPath = asPkgPath
+	}
+	var diags []diag
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		PkgPath:   pkgPath,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			diags = append(diags, diag{
+				file:    filepath.Base(pos.Filename),
+				line:    pos.Line,
+				message: d.Message,
+			})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s on %s: %v", a.Name, pkgPath, err)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].file != diags[j].file {
+			return diags[i].file < diags[j].file
+		}
+		return diags[i].line < diags[j].line
+	})
+	return diags
+}
+
+// Run loads the fixture package at rel, runs a over it as asPkgPath,
+// and requires the diagnostics and the `// want` expectations to match
+// one-to-one.
+func Run(t *testing.T, a *analysis.Analyzer, rel, asPkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	diags := runAnalyzer(t, a, pkg, asPkgPath)
+	wants := collectWants(pkg)
+
+	for di := range diags {
+		d := &diags[di]
+		for wi := range wants {
+			w := &wants[wi]
+			if !w.matched && w.file == d.file && w.line == d.line && strings.Contains(d.message, w.substr) {
+				w.matched, d.matched = true, true
+				break
+			}
+		}
+	}
+	for _, d := range diags {
+		if !d.matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, d.file, d.line, d.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic at %s:%d containing %q, got none", a.Name, w.file, w.line, w.substr)
+		}
+	}
+}
+
+// RunExpectNone loads the fixture at rel and requires a to report
+// nothing under asPkgPath — the scope-negative half of a fixture
+// (`// want` comments in the file are ignored).
+func RunExpectNone(t *testing.T, a *analysis.Analyzer, rel, asPkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	for _, d := range runAnalyzer(t, a, pkg, asPkgPath) {
+		t.Errorf("%s as %s: want no diagnostics, got %s:%d: %s", a.Name, asPkgPath, d.file, d.line, d.message)
+	}
+}

@@ -1,0 +1,74 @@
+// Package hot is the allocfree fixture: functions opted in through a
+// //sbw:allocfree doc annotation may not allocate; unannotated
+// functions are never checked; //sbw:allocok waives a reviewed site.
+package hot
+
+import "fmt"
+
+//sbw:allocfree fixture: append rule
+func hotAppend(dst, src []int) []int {
+	return append(dst, src...) // want "append in //sbw:allocfree function hotAppend"
+}
+
+//sbw:allocfree fixture: make rule
+func hotMake(n int) []int {
+	return make([]int, n) // want "make in //sbw:allocfree function hotMake"
+}
+
+//sbw:allocfree fixture: closure rule
+func hotClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want "closure in //sbw:allocfree function hotClosure"
+}
+
+//sbw:allocfree fixture: slice-literal rule
+func hotLiteral() []int {
+	return []int{1, 2, 3} // want "slice literal in //sbw:allocfree function hotLiteral"
+}
+
+type pair struct{ a, b int }
+
+//sbw:allocfree fixture: value struct literals stay on the stack
+func hotValueLiteral() pair {
+	return pair{1, 2}
+}
+
+//sbw:allocfree fixture: &literal rule
+func hotPtrLiteral() *pair {
+	return &pair{1, 2} // want "&literal in //sbw:allocfree function hotPtrLiteral"
+}
+
+//sbw:allocfree fixture: string-concat rule
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation in //sbw:allocfree function hotConcat"
+}
+
+//sbw:allocfree fixture: fmt rule
+func hotFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt call in //sbw:allocfree function hotFmt"
+}
+
+//sbw:allocfree fixture: explicit-conversion boxing rule
+func hotBox(v int) any {
+	return any(v) // want "conversion of non-pointer value to interface"
+}
+
+func sink(v any) { _ = v }
+
+//sbw:allocfree fixture: call-argument boxing rule
+func hotBoxArg(v int) {
+	sink(v) // want "argument v boxes a non-pointer value"
+}
+
+//sbw:allocfree fixture: pointer-shaped values box for free
+func hotBoxPtr(p *pair) {
+	sink(p)
+}
+
+//sbw:allocfree fixture: allocok waiver
+func hotWaived(dst []int, v int) []int {
+	return append(dst, v) //sbw:allocok fixture: amortized growth against a recycled buffer
+}
+
+func coldUnchecked(dst []int, v int) []int {
+	return append(dst, v)
+}

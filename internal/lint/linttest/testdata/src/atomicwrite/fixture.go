@@ -1,0 +1,27 @@
+// Package aw is the atomicwrite fixture: outside internal/store every
+// os.WriteFile/os.Create/os.Rename must be flagged unless waived with
+// //sbw:directwrite; run as internal/store the whole file is exempt.
+package aw
+
+import "os"
+
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile outside internal/store"
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create outside internal/store"
+}
+
+func swap(a, b string) error {
+	return os.Rename(a, b) // want "os.Rename outside internal/store"
+}
+
+func scratch(path string, data []byte) error {
+	//sbw:directwrite fixture: scratch artifact, allowed to vanish on power loss
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readIsFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

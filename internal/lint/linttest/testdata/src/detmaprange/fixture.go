@@ -1,0 +1,49 @@
+// Package detmap is the detmaprange fixture: run as a deterministic
+// package it must flag bare map ranges, honor justified
+// //sbw:orderinvariant waivers, and refuse empty-justification ones;
+// run as an out-of-scope package it must stay silent.
+package detmap
+
+func flagged(m map[int]int) int {
+	s := 0
+	for k := range m { // want "range over map m in deterministic package"
+		s += k
+	}
+	return s
+}
+
+func waived(m map[int]int) int {
+	s := 0
+	//sbw:orderinvariant fixture: addition is commutative, the sum is order-independent
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func bareWaiver(m map[int]int) int {
+	s := 0
+	//sbw:orderinvariant
+	for k := range m { // want "range over map m in deterministic package"
+		s += k
+	}
+	return s
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type bag map[string]bool
+
+func namedMapType(b bag) int {
+	n := 0
+	for range b { // want "range over map b in deterministic package"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+// Package detsrc is the detsource fixture: run as a deterministic
+// package it must flag the math/rand import and every wall-clock and
+// environment read, while honoring justified //sbw:nondet waivers.
+package detsrc
+
+import (
+	_ "math/rand" // want "import of math/rand in deterministic package"
+	"os"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "os.Getenv in deterministic package"
+}
+
+func lookup() (string, bool) {
+	return os.LookupEnv("HOME") // want "os.LookupEnv in deterministic package"
+}
+
+func waivedClock() time.Time {
+	//sbw:nondet fixture: diagnostic timestamp only, never reaches results
+	return time.Now()
+}
+
+func sleepIsFine() {
+	time.Sleep(0)
+}

@@ -1,0 +1,16 @@
+// Package dirs is the sbwdirective fixture: every //sbw: annotation in
+// any package must use a known name and carry a justification.
+package dirs
+
+//sbw:orderinvarient typo'd name must be caught // want "unknown //sbw: directive"
+var a = 0
+
+//sbw:orderinvariant
+// want:prev "needs a non-empty justification"
+var b = 0
+
+//sbw:allocok fixture: known name with a justification is clean
+var c = 0
+
+// A plain comment mentioning sbw: is not a directive.
+var d = 0

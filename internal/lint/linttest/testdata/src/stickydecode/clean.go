@@ -1,0 +1,11 @@
+// clean.go has no //sbw:stickydecoder annotation, so nothing in it is
+// checked — the analyzer is strictly opt-in per file.
+package sticky
+
+func uncheckedFileIndex(b []byte, off int) byte {
+	return b[off]
+}
+
+func uncheckedFilePanic() {
+	panic("not a decode path")
+}

@@ -1,0 +1,65 @@
+// Package sticky is the stickydecode fixture: this file opts in below,
+// so panics, unguarded indexing, and unguarded input-sized make must be
+// flagged, while visibly tested sites and //sbw:stickyok waivers pass.
+//
+//sbw:stickydecoder fixture: exercises the hostile-input decode rules
+package sticky
+
+func badIndex(b []byte, off int) byte {
+	return b[off] // want "index b[off]"
+}
+
+func goodIndex(b []byte, off int) byte {
+	if off < 0 || off >= len(b) {
+		return 0
+	}
+	return b[off]
+}
+
+func badPanic(b []byte) {
+	if len(b) == 0 {
+		panic("empty input") // want "panic in //sbw:stickydecoder file"
+	}
+}
+
+func badMake(n int) []byte {
+	return make([]byte, n) // want "make size n derives from decoded input"
+}
+
+func goodMake(b []byte, n int) []byte {
+	if n > len(b) {
+		n = len(b)
+	}
+	return make([]byte, n)
+}
+
+func badSlice(b []byte, n int) []byte {
+	return b[:n] // want "slice bound n"
+}
+
+func goodSlice(b []byte, n int) []byte {
+	if n > len(b) {
+		return nil
+	}
+	return b[:n]
+}
+
+func waivedIndex(b []byte, off int) byte {
+	return b[off] //sbw:stickyok fixture: the caller validated off against len(b)
+}
+
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+// receiverGuard pins the method-receiver rule: a comparison involving a
+// method call on d tests d's whole field chain, so d.b[d.off] passes.
+func (d *dec) receiverGuard() byte {
+	if d.remaining() < 1 {
+		return 0
+	}
+	return d.b[d.off]
+}

@@ -1,0 +1,237 @@
+// Package load type-checks Go packages for the sbwlint analyzers using
+// nothing but the standard library and the go command: `go list -deps
+// -json` resolves patterns, files, and import graphs (in dependency
+// order), go/parser parses, and go/types checks each package against
+// its already-checked dependencies. It is the stdlib-only stand-in for
+// golang.org/x/tools/go/packages in a module that deliberately has no
+// external dependencies — everything it loads (this module plus the
+// stdlib closure) type-checks from source, offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked target package with full syntax.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds this package's own type-check errors. Target
+	// packages are expected to be error-free; the driver surfaces these.
+	TypeErrors []error
+}
+
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Loader caches type-checked packages across Load calls, so fixture
+// tests and the self-check share one stdlib pass.
+type Loader struct {
+	// Dir is the working directory for go list (the module root, or any
+	// directory inside it).
+	Dir  string
+	Fset *token.FileSet
+
+	meta    map[string]*listPkg
+	checked map[string]*types.Package
+}
+
+// New returns a Loader rooted at dir.
+func New(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		Fset:    token.NewFileSet(),
+		meta:    make(map[string]*listPkg),
+		checked: make(map[string]*types.Package),
+	}
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	// CGO off: the pure-Go fallback files of net/os are self-contained
+	// Go, so the whole closure type-checks from source. GOPROXY off
+	// keeps the load hermetic — nothing here may touch the network.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOPROXY=off")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+// listDeps resolves patterns and merges the dependency closure into
+// l.meta, returning (in order) the closure's import paths and the set
+// of paths the patterns matched directly.
+func (l *Loader) listDeps(patterns []string) (order []string, targets map[string]bool, err error) {
+	out, err := l.goList(append([]string{"-deps", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,ImportMap,Error"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list json: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, dup := l.meta[p.ImportPath]; !dup {
+			l.meta[p.ImportPath] = &p
+		}
+		order = append(order, p.ImportPath)
+	}
+	tout, err := l.goList(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets = make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(tout)), "\n") {
+		if line != "" {
+			targets[line] = true
+		}
+	}
+	return order, targets, nil
+}
+
+func (l *Loader) parse(p *listPkg, withComments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if withComments {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFor adapts the loader's cache to go/types for one package,
+// honoring its vendor ImportMap.
+type importerFor struct {
+	l *Loader
+	p *listPkg
+}
+
+func (im importerFor) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := im.p.ImportMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := im.l.checked[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("load: import %q not in dependency closure of %s", path, im.p.ImportPath)
+}
+
+// check type-checks one package. Dependencies must already be in
+// l.checked. For non-target packages only the package-level API is
+// checked (function bodies skipped) and errors are tolerated best
+// effort; targets are fully checked with Info filled.
+func (l *Loader) check(p *listPkg, target bool) (*Package, error) {
+	files, err := l.parse(p, target)
+	if err != nil {
+		if target {
+			return nil, err
+		}
+		return nil, nil // tolerate unparsable deps; imports of them fail later
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:         importerFor{l, p},
+		FakeImportC:      true,
+		IgnoreFuncBodies: !target,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	var info *types.Info
+	if target {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	tpkg, _ := conf.Check(p.ImportPath, l.Fset, files, info)
+	if tpkg != nil {
+		l.checked[p.ImportPath] = tpkg
+	}
+	if !target {
+		return nil, nil
+	}
+	return &Package{
+		PkgPath:    p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: errs,
+	}, nil
+}
+
+// Load resolves patterns ("./...", an import path, ...) and returns the
+// matched packages, fully type-checked with comments and Info. The
+// dependency closure is checked API-only and cached across calls.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	order, targets, err := l.listDeps(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range order {
+		if path == "unsafe" {
+			continue
+		}
+		target := targets[path]
+		if _, done := l.checked[path]; done && !target {
+			continue
+		}
+		pkg, err := l.check(l.meta[path], target)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", path, err)
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// TestLoadGraphPackage type-checks a real module package (and its
+// stdlib closure) entirely from source, offline.
+func TestLoadGraphPackage(t *testing.T) {
+	l := New(moduleRoot(t))
+	pkgs, err := l.Load("smallbandwidth/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "smallbandwidth/internal/graph" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	for _, err := range p.TypeErrors {
+		t.Errorf("type error: %v", err)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatalf("incomplete package: files=%d types=%v", len(p.Files), p.Types)
+	}
+	if p.Types.Scope().Lookup("Graph") == nil {
+		t.Error("graph.Graph not found in package scope")
+	}
+}
+
+// TestLoadWholeModule loads every package in the module; every target
+// must type-check clean. This doubles as the guard that the loader
+// keeps working against the real tree the self-check lints.
+func TestLoadWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in long mode only; selfcheck covers it")
+	}
+	l := New(moduleRoot(t))
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, err := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.PkgPath, err)
+		}
+	}
+}

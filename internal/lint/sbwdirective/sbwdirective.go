@@ -1,0 +1,43 @@
+// Package sbwdirective is the grammar guard for the //sbw: annotation
+// language: every directive in the tree must use a known name and carry
+// a non-empty justification. Without this pass a typo'd or bare
+// annotation would silently grant nothing (the site analyzer ignores
+// it) while looking reviewed to a human reader — the worst of both.
+package sbwdirective
+
+import (
+	"smallbandwidth/internal/lint/analysis"
+)
+
+// Analyzer is the sbwdirective pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sbwdirective",
+	Doc:  "every //sbw: annotation must use a known directive name and carry a non-empty justification",
+	Run:  run,
+}
+
+// Known is the full //sbw: directive vocabulary (see docs/LINT.md).
+var Known = map[string]string{
+	"orderinvariant": "detmaprange: this map-range body is order-insensitive",
+	"nondet":         "detsource: reviewed nondeterminism that cannot reach results",
+	"stickydecoder":  "stickydecode: file-scoped opt-in marking a hostile-input decode path",
+	"stickyok":       "stickydecode: this access is provably in range",
+	"allocfree":      "allocfree: function-scoped opt-in marking a zero-allocation hot path",
+	"allocok":        "allocfree: reviewed cold/amortized allocation inside a hot path",
+	"directwrite":    "atomicwrite: this write is genuinely non-durable",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range pass.FileDirs(file).All {
+			if _, ok := Known[d.Name]; !ok {
+				pass.Reportf(d.Pos, "unknown //sbw: directive %q (known: orderinvariant, nondet, stickydecoder, stickyok, allocfree, allocok, directwrite)", d.Name)
+				continue
+			}
+			if d.Reason == "" {
+				pass.Reportf(d.Pos, "//sbw:%s needs a non-empty justification — an annotation without its why is a waiver nobody reviewed", d.Name)
+			}
+		}
+	}
+	return nil
+}

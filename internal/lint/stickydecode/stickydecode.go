@@ -1,0 +1,322 @@
+// Package stickydecode is the static shadow of FuzzSnapshotDecode and
+// FuzzStoreDecode: decode paths for hostile bytes must never panic —
+// they carry a sticky error instead. Files opt in with a file-scoped
+//
+//	//sbw:stickydecoder <what this file decodes>
+//
+// annotation. Inside an annotated file the analyzer flags:
+//
+//   - explicit panic(...) — a decoder fails by sticky error, never by
+//     panicking on input;
+//   - slice/array/string indexing and slicing whose bounds are not
+//     visibly tested: the index is non-constant, the indexed value is
+//     never measured with len/cap in the function, and no atom of the
+//     index expression appears in a comparison, a range clause, or a
+//     Count/min/max guard — i.e. nothing in the function bounds it;
+//   - make whose size derives from decoded input with no visible guard
+//     (same atom rule; snapshot's Dec.Count is the canonical guard —
+//     it validates a count against the remaining input before the
+//     allocation happens).
+//
+// The "visibly tested" rule is a per-function heuristic, not a dominance
+// proof: it exists to force every unguarded site through review. A site
+// the heuristic cannot see through carries
+//
+//	//sbw:stickyok <why the access cannot go out of bounds>
+//
+// on its line or the line above.
+package stickydecode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smallbandwidth/internal/lint/analysis"
+)
+
+// Analyzer is the stickydecode pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickydecode",
+	Doc:  "in //sbw:stickydecoder files: no panic, no unguarded indexing, no unguarded input-sized make; //sbw:stickyok <reason> waives a reviewed site",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		fd := pass.FileDirs(file)
+		if d := fd.Anywhere("stickydecoder"); d == nil || d.Reason == "" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+// guards is the per-function record of what the code visibly bounds.
+type guards struct {
+	// measured holds ExprString of every value the function takes
+	// len/cap of, anywhere.
+	measured map[string]bool
+	// tested holds atoms (identifiers and selector chains) that appear
+	// in a comparison, a range clause, a for-loop post statement, or on
+	// the left of an assignment from a Count/min/max guard.
+	tested map[string]bool
+}
+
+func collectGuards(fn *ast.FuncDecl) *guards {
+	g := &guards{measured: map[string]bool{}, tested: map[string]bool{}}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				for _, a := range atomsOf(n.X) {
+					g.tested[a] = true
+				}
+				for _, a := range atomsOf(n.Y) {
+					g.tested[a] = true
+				}
+			}
+		case *ast.CallExpr:
+			if name := builtinName(n.Fun); name == "len" || name == "cap" {
+				for _, arg := range n.Args {
+					g.measured[types.ExprString(arg)] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					g.tested[id.Name] = true
+				}
+			}
+			// Ranging over x makes x itself a measured quantity: the
+			// loop cannot step outside it.
+			g.measured[types.ExprString(n.X)] = true
+		case *ast.AssignStmt:
+			if rhsGuarded(n.Rhs) {
+				for _, lhs := range n.Lhs {
+					for _, a := range atomsOf(lhs) {
+						g.tested[a] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// rhsGuarded reports whether any RHS is a call to a recognized
+// input-validating guard: Dec.Count (checks the count against the
+// remaining input) or the min/max builtins.
+func rhsGuarded(rhs []ast.Expr) bool {
+	for _, e := range rhs {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Count" {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "min" || fun.Name == "max" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func builtinName(fun ast.Expr) string {
+	if id, ok := fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// atomsOf returns the identifier and selector-chain atoms of an
+// expression: the smallest named values whose bounds could have been
+// tested. Constants contribute nothing.
+func atomsOf(e ast.Expr) []string {
+	var out []string
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			out = append(out, e.Name)
+		case *ast.SelectorExpr:
+			out = append(out, types.ExprString(e))
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.IndexExpr:
+			walk(e.X)
+			walk(e.Index)
+		case *ast.CallExpr:
+			// A method call participating in a test counts as testing its
+			// receiver chain: `if d.Remaining() < 8` is how the Dec
+			// primitives bounds-check d.off against len(d.b).
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				walk(sel.X)
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// coveredBy reports whether atom is tested directly or through a tested
+// dotted prefix: a test involving `d` (e.g. a method call on it in a
+// comparison) covers `d.off`.
+func coveredBy(tested map[string]bool, atom string) bool {
+	if tested[atom] {
+		return true
+	}
+	for i := len(atom) - 1; i > 0; i-- {
+		if atom[i] == '.' && tested[atom[:i]] {
+			return true
+		}
+	}
+	return false
+}
+
+// exprGuarded reports whether every atom of e is visibly tested (or e
+// has no atoms beyond constants and calls, in which case a guard call
+// inside it counts).
+func (g *guards) exprGuarded(e ast.Expr) bool {
+	if containsGuardCall(e) {
+		return true
+	}
+	atoms := atomsOf(e)
+	if len(atoms) == 0 {
+		return false
+	}
+	for _, a := range atoms {
+		if !coveredBy(g.tested, a) && !g.measured[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsGuardCall reports whether e contains a call to len/cap/min/max
+// or a .Count method — sizes computed through those are bounded by
+// construction.
+func containsGuardCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "len", "cap", "min", "max":
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Count" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkFunc(pass *analysis.Pass, fd *analysis.FileDirectives, fn *ast.FuncDecl) {
+	g := collectGuards(fn)
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && tv.Value != nil
+	}
+	indexable := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch t := tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array:
+			return true
+		case *types.Pointer:
+			_, ok := t.Elem().Underlying().(*types.Array)
+			return ok
+		case *types.Basic:
+			return t.Info()&types.IsString != 0
+		}
+		return false
+	}
+	waived := func(n ast.Node) bool { return fd.Waived(pass.NodeLine(n), "stickyok") }
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if builtinName(n.Fun) == "panic" && !waived(n) {
+				pass.Reportf(n.Pos(),
+					"panic in //sbw:stickydecoder file: decoders fail by sticky error, never by panicking on input (//sbw:stickyok <reason> if unreachable on any input)")
+				return true
+			}
+			if builtinName(n.Fun) == "make" && len(n.Args) > 1 {
+				for _, size := range n.Args[1:] {
+					if isConst(size) || g.exprGuarded(size) {
+						continue
+					}
+					if !waived(n) {
+						pass.Reportf(size.Pos(),
+							"make size %s derives from decoded input with no visible guard; validate it against the remaining input (Dec.Count) first, or annotate //sbw:stickyok <reason>",
+							types.ExprString(size))
+					}
+					break
+				}
+			}
+		case *ast.IndexExpr:
+			if !indexable(n.X) || isConst(n.Index) {
+				return true
+			}
+			if g.measured[types.ExprString(n.X)] || g.exprGuarded(n.Index) {
+				return true
+			}
+			if !waived(n) {
+				pass.Reportf(n.Pos(),
+					"index %s[%s] in //sbw:stickydecoder file has no visible bounds test in this function; hostile input must not be able to panic here (//sbw:stickyok <reason> if provably in range)",
+					types.ExprString(n.X), types.ExprString(n.Index))
+			}
+		case *ast.SliceExpr:
+			if !indexable(n.X) {
+				return true
+			}
+			if g.measured[types.ExprString(n.X)] {
+				return true
+			}
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound == nil || isConst(bound) || g.exprGuarded(bound) {
+					continue
+				}
+				if !waived(n) {
+					pass.Reportf(bound.Pos(),
+						"slice bound %s in //sbw:stickydecoder file has no visible bounds test in this function (//sbw:stickyok <reason> if provably in range)",
+						types.ExprString(bound))
+				}
+				break
+			}
+		}
+		return true
+	})
+}

@@ -370,6 +370,7 @@ func (d *Decomposition) finish() {
 		if 2*c.TreeDepth > d.Beta {
 			d.Beta = 2 * c.TreeDepth
 		}
+		//sbw:orderinvariant usage counts only ever grow, so the running Beta/Congestion maxima equal the maxima over the final counts in any order
 		for v, p := range c.TreeParent {
 			if p < 0 {
 				continue
@@ -408,6 +409,7 @@ func (d *Decomposition) Validate() error {
 			}
 		}
 		// Tree edges are graph edges; parents chain to the root.
+		//sbw:orderinvariant validation: every entry either passes or fails the same checks; the nil-error outcome is order-independent
 		for v, p := range c.TreeParent {
 			if p == -1 {
 				if v != c.Root {

@@ -329,6 +329,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		if err != nil {
 			if ctx.Err() != nil {
 				conns.Range(func(k, _ any) bool {
+					//sbw:nondet shutdown drain only: an already-expired deadline unblocks pending readers; the clock value never reaches request processing or reply bytes
 					k.(net.Conn).SetReadDeadline(time.Now())
 					return true
 				})

@@ -1,3 +1,4 @@
+//sbw:stickydecoder section codecs for hostile snapshot bytes (FuzzSnapshotDecode); sticky errors, never panics
 package snapshot
 
 import (
@@ -25,6 +26,7 @@ func EncodeGraph(e *Enc, g *graph.Graph) {
 	}
 	for v := 0; v < n; v++ {
 		prev := int64(-1)
+		//sbw:stickyok encode path: off/nbr are a validated in-memory CSR, not decoded input
 		for _, w := range nbr[off[v]:off[v+1]] {
 			e.Uvarint(uint64(int64(w) - prev))
 			prev = int64(w)

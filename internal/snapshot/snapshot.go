@@ -12,6 +12,7 @@
 // byte stream (no map iteration, fixed field order), so decoding a
 // snapshot and re-encoding it reproduces the input byte for byte; the
 // golden-file test pins that property for format v1.
+//sbw:stickydecoder container decode path for hostile snapshot bytes (FuzzSnapshotDecode); sticky errors, never panics
 package snapshot
 
 import (
@@ -99,7 +100,7 @@ func Encode(c *Container) []byte {
 	for i := range c.Sections {
 		n += len(c.Sections[i].Data)
 	}
-	b := make([]byte, 0, n)
+	b := make([]byte, 0, n) //sbw:stickyok encode path: n sums in-memory section lengths, not decoded input
 	b = append(b, Magic...)
 	b = binary.LittleEndian.AppendUint32(b, c.Version)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Sections)))
@@ -243,7 +244,7 @@ func (d *Dec) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
-	v, n := binary.Uvarint(d.b[d.off:])
+	v, n := binary.Uvarint(d.b[d.off:]) //sbw:stickyok Dec invariant: off ≤ len(b) (every advance is guarded), so the tail slice is always valid
 	if n <= 0 {
 		d.fail("truncated or overlong varint at offset %d", d.off)
 		return 0
@@ -257,7 +258,7 @@ func (d *Dec) Varint() int64 {
 	if d.err != nil {
 		return 0
 	}
-	v, n := binary.Varint(d.b[d.off:])
+	v, n := binary.Varint(d.b[d.off:]) //sbw:stickyok Dec invariant: off ≤ len(b) (every advance is guarded), so the tail slice is always valid
 	if n <= 0 {
 		d.fail("truncated or overlong varint at offset %d", d.off)
 		return 0
@@ -323,7 +324,7 @@ func (d *Dec) Blob() []byte {
 		return nil
 	}
 	p := make([]byte, n)
-	copy(p, d.b[d.off:d.off+n])
+	copy(p, d.b[d.off:d.off+n]) //sbw:stickyok off+n ≤ len(b): n just passed the Count(1) guard against the remaining input
 	d.off += n
 	return p
 }

@@ -1,3 +1,4 @@
+//sbw:stickydecoder edge-list ingest of hostile text (FuzzIngest); malformed input is a line-numbered error, never a panic
 package store
 
 import (
