@@ -79,8 +79,10 @@ func main() {
 		case "1":
 			runAt(*label, 1)
 		case "max":
+			warnSingleCPU()
 			runAt(*label, runtime.NumCPU())
 		case "both":
+			warnSingleCPU()
 			runAt(*label+"@p1", 1)
 			runAt(*label+"@pN", runtime.NumCPU())
 		default:
@@ -111,6 +113,13 @@ func main() {
 		record("BENCH_store.json", "smallbandwidth/bench-store/v1", "cmd/benchtables -store", storeBench)
 		return
 	}
+	// The experiment tables don't record gomaxprocs; silently ignoring
+	// -procs here would let a user believe they measured a parallelism
+	// sweep when they didn't.
+	if *procs != "current" {
+		fmt.Fprintf(os.Stderr, "benchtables: -procs applies only to the record modes (-engine/-clique/-mpc/-decomp/-scale/-snapshot/-store)\n")
+		os.Exit(1)
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*only, ",") {
 		if e != "" {
@@ -135,6 +144,16 @@ func main() {
 	run("E10", e10)
 	run("E11", e11)
 	run("E12", e12)
+}
+
+// warnSingleCPU flags -procs max/both runs on a single-CPU host: the
+// @pN record is then the same single-core configuration as @p1 and
+// must not be read as multi-core scaling evidence. The records stay
+// honest (num_cpu=1 is written as measured); this is operator-facing.
+func warnSingleCPU() {
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr, "benchtables: host reports 1 CPU; the @pN/max sweep measures the same single-core configuration as @p1 (num_cpu=1 is recorded as such)")
+	}
 }
 
 func header(id, claim string) {

@@ -39,6 +39,7 @@ func main() {
 		ckEvery   = flag.Int("checkpoint-every", 0, "write a checkpoint after every N consistent cuts (congest) or color classes (decomposed); 0 disables")
 		ckFile    = flag.String("checkpoint", "checkpoint.snap", "checkpoint file written by -checkpoint-every")
 		resume    = flag.String("resume", "", "resume from a checkpoint file; all graph and model flags are ignored (the file records the instance and options)")
+		workers   = flag.Int("workers", 0, "cap the engine's delivery/compute workers (0 = GOMAXPROCS); results are bit-identical at every setting")
 	)
 	flag.Parse()
 
@@ -67,6 +68,18 @@ func main() {
 		})
 	}
 
+	// -workers bounds the simulator engine's parallelism; a negative or
+	// absurd value is a mistake, not a request, and the models that never
+	// reach the engine would otherwise silently ignore the flag.
+	if *workers < 0 || *workers > congest.MaxWorkers {
+		log.Fatalf("-workers must be in [0,%d], got %d (0 uses GOMAXPROCS)", congest.MaxWorkers, *workers)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && *model != "congest" && *model != "decomposed" {
+			log.Fatalf("-workers is not supported by -model %s (engine-backed models: congest, decomposed)", *model)
+		}
+	})
+
 	g := buildGraph(*graphKind, *n, *d, *p, *seed)
 	var inst *sb.Instance
 	switch *lists {
@@ -94,9 +107,9 @@ func main() {
 		var res *sb.CONGESTResult
 		var err error
 		if *ckEvery > 0 {
-			res, err = runCongestCheckpointed(inst, *ckEvery, *ckFile)
+			res, err = runCongestCheckpointed(inst, *ckEvery, *ckFile, *workers)
 		} else {
-			res, err = sb.ColorCONGEST(inst)
+			res, err = sb.ColorCONGEST(inst, sb.CONGESTOptions{Workers: *workers})
 		}
 		fail(err)
 		fmt.Printf("CONGEST (Thm 1.1): rounds=%d messages=%d maxMsgWords=%d iterations=%d\n",
@@ -105,9 +118,9 @@ func main() {
 		var res *sb.DecompResult
 		var err error
 		if *ckEvery > 0 {
-			res, err = runDecomposedCheckpointed(inst, *ckEvery, *ckFile)
+			res, err = runDecomposedCheckpointed(inst, *ckEvery, *ckFile, *workers)
 		} else {
-			res, err = sb.ColorDecomposed(inst)
+			res, err = sb.ColorDecomposed(inst, sb.CONGESTOptions{Workers: *workers})
 		}
 		fail(err)
 		dc := res.Decomp
@@ -197,8 +210,8 @@ func buildGraph(kind string, n, d int, p float64, seed uint64) *sb.Graph {
 // rewriting the checkpoint file after every N consistent cuts. Each file
 // is self-contained: instance, options, and the latest cut of every
 // component, so `colorcli -resume FILE` needs no other flags.
-func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONGESTResult, error) {
-	opts := sb.CONGESTOptions{}
+func runCongestCheckpointed(inst *sb.Instance, every int, file string, workers int) (*sb.CONGESTResult, error) {
+	opts := sb.CONGESTOptions{Workers: workers}
 	cuts, writes := 0, 0
 	ck := &congest.Checkpointer{}
 	ck.OnCut = func(*congest.DomainCut) {
@@ -227,8 +240,8 @@ func runCongestCheckpointed(inst *sb.Instance, every int, file string) (*sb.CONG
 
 // runDecomposedCheckpointed is the Corollary 1.2 counterpart: the
 // pipeline checkpoints at class boundaries.
-func runDecomposedCheckpointed(inst *sb.Instance, every int, file string) (*sb.DecompResult, error) {
-	opts := sb.CONGESTOptions{}
+func runDecomposedCheckpointed(inst *sb.Instance, every int, file string, workers int) (*sb.DecompResult, error) {
+	opts := sb.CONGESTOptions{Workers: workers}
 	classes, writes := 0, 0
 	onCk := func(cp *netdecomp.PipelineCheckpoint) {
 		classes++

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"syscall"
 
+	"smallbandwidth/internal/congest"
 	"smallbandwidth/internal/serve"
 	"smallbandwidth/internal/store"
 )
@@ -41,6 +42,7 @@ func main() {
 		listen  = flag.String("listen", "", "TCP address to serve on (e.g. 127.0.0.1:7777)")
 		stdin   = flag.Bool("stdin", false, "serve a single session on stdin/stdout and exit")
 		workers = flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		engineW = flag.Int("engine-workers", 0, "per-request cap on the simulator engine's worker count (0 = engine default, no cap); results are bit-identical at every setting")
 		trust   = flag.Bool("trust", false, "skip full CSR validation when loading stores (only for self-produced files)")
 	)
 	flag.Var(&stores, "store", "graph to load, as name=path (repeatable; positional args work too)")
@@ -53,8 +55,14 @@ func main() {
 	if (*listen == "") == !*stdin {
 		log.Fatal("pick exactly one of -listen ADDR or -stdin")
 	}
+	if *workers < 0 {
+		log.Fatalf("-workers must be >= 0, got %d (0 uses GOMAXPROCS)", *workers)
+	}
+	if *engineW < 0 || *engineW > congest.MaxWorkers {
+		log.Fatalf("-engine-workers must be in [0,%d], got %d (0 = engine default, no cap)", congest.MaxWorkers, *engineW)
+	}
 
-	srv := serve.New(serve.Options{Workers: *workers})
+	srv := serve.New(serve.Options{Workers: *workers, EngineWorkers: *engineW})
 	load := store.Load
 	if *trust {
 		load = store.LoadTrusted

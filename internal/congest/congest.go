@@ -75,6 +75,10 @@ type Config struct {
 	// MaxRounds aborts runs that exceed this many rounds (default 1<<22),
 	// turning protocol livelocks into test failures instead of hangs.
 	MaxRounds int
+	// Workers bounds the engine's delivery/compute parallelism: 0 sizes
+	// the worker pool from GOMAXPROCS, n > 0 caps it at n shards. Stats
+	// and protocol outcomes are bit-identical for every setting.
+	Workers int
 	// Checkpoint, when non-nil, collects consistent cuts of the run.
 	Checkpoint *Checkpointer
 	// Resume, when non-nil, restores the run from a snapshot before any
@@ -84,6 +88,10 @@ type Config struct {
 
 // DomainStats is one connected component's share of a run's Stats.
 type DomainStats = engine.DomainStats
+
+// MaxWorkers is the largest accepted Config.Workers value (engine's
+// sanity cap): anything above it is a typo, not a machine.
+const MaxWorkers = engine.MaxWorkers
 
 // Run executes program on every node of g until all node programs return.
 // It returns the measured statistics, or an error if any node violated
@@ -100,7 +108,15 @@ func RunWithDomains(g *graph.Graph, cfg Config, program func(ctx *Ctx)) (*Stats,
 		Model:      "congest",
 		MaxWords:   cfg.MaxWords,
 		MaxRounds:  cfg.MaxRounds,
+		Workers:    cfg.Workers,
 		Checkpoint: cfg.Checkpoint,
 		Resume:     cfg.Resume,
 	}, program)
 }
+
+// DeliveryShards reports how many delivery shards the engine cuts an
+// n-endpoint domain into under the given worker bound (0 = GOMAXPROCS).
+// Callers that pad per-edge arenas at shard boundaries (so no two
+// shards' nodes share a cache line) use it to place the pads where the
+// engine will actually cut.
+func DeliveryShards(n, workers int) int { return engine.ShardsFor(n, workers) }

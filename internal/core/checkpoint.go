@@ -280,11 +280,11 @@ func prefillRestored(m *metrics, colors []uint32, coloredFlag []bool, restore []
 		}
 		for i := 0; i < rs.iter; i++ {
 			if !rs.colored || i <= rs.coloredAt {
-				m.addAlive(i, 1)
+				m.addAlive(i, v, 1)
 			}
 		}
 		if rs.colored {
-			m.addColored(rs.coloredAt, 1)
+			m.addColored(rs.coloredAt, v, 1)
 		}
 		if rs.done {
 			colors[v] = rs.color

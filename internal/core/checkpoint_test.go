@@ -202,6 +202,33 @@ func TestCheckpointCutsDeterministicAcrossShards(t *testing.T) {
 	}
 }
 
+// TestCheckpointCutsDeterministicAcrossWorkers is the same pin driven
+// end to end through the public Options.Workers knob instead of the
+// SetForceShards test hook, on an instance large enough (≥ 4·256
+// nodes) that Workers=4 genuinely cuts four delivery shards: the
+// commit-barrier cuts must stage per-shard state in an order that
+// leaves the snapshot bytes identical at every worker count.
+func TestCheckpointCutsDeterministicAcrossWorkers(t *testing.T) {
+	inst := mustInstance(t, graph.Cycle(1200))
+	collect := func(workers int) *congest.Checkpointer {
+		ck := &congest.Checkpointer{KeepAll: true}
+		if _, err := ListColorResumable(inst, Options{Workers: workers}, ck, nil); err != nil {
+			t.Fatal(err)
+		}
+		return ck
+	}
+	ck1, ck4 := collect(1), collect(4)
+	r1, r4 := ck1.CutRounds(), ck4.CutRounds()
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("cut rounds differ across worker counts: %v vs %v", r1, r4)
+	}
+	for _, k := range r1 {
+		if s1, s4 := ck1.At(k), ck4.At(k); !reflect.DeepEqual(s1, s4) {
+			t.Fatalf("cut at round %d differs across worker counts", k)
+		}
+	}
+}
+
 func TestResumableRejectsTrackPotentials(t *testing.T) {
 	inst := mustInstance(t, graph.Path(4))
 	if _, err := ListColorResumable(inst, Options{TrackPotentials: true}, nil, nil); err == nil {

@@ -46,73 +46,163 @@ type Result struct {
 // scheduling. Per-node storage keeps the telemetry bit-deterministic
 // across runs and worker counts (the differential tests compare it
 // bitwise).
-type metrics struct {
+//
+// The accumulators are striped over contiguous node bands of 2^12
+// nodes: node goroutines running on different engine delivery shards
+// lock different stripes, so telemetry writes never serialize the
+// parallel phase loop on one mutex. Folding iterates the stripes in
+// order and each band's nodes ascending — exactly the ascending-node-
+// order float sum the single accumulator produced, so the reported
+// telemetry stays bit-identical across worker counts.
+const metricStripeShift = 12
+
+type metricStripe struct {
 	mu       sync.Mutex
-	n        int
-	potStart map[int][]float64         // iteration → per-node Φ₀ contribution
-	potPhase map[int]map[int][]float64 // iteration → phase → per-node Φ_ℓ
+	potStart map[int][]float64         // iteration → band-local per-node Φ₀
+	potPhase map[int]map[int][]float64 // iteration → phase → band-local Φ_ℓ
 	colored  map[int]int
 	alive    map[int]int
-	track    bool
+	_        [4]uint64 // no two stripes' hot words on one cache line
+}
+
+type metrics struct {
+	n       int
+	track   bool
+	stripes []metricStripe
 }
 
 func newMetrics(track bool, n int) *metrics {
-	return &metrics{
-		n:        n,
-		potStart: map[int][]float64{},
-		potPhase: map[int]map[int][]float64{},
-		colored:  map[int]int{},
-		alive:    map[int]int{},
-		track:    track,
+	m := &metrics{n: n, track: track,
+		stripes: make([]metricStripe, (n>>metricStripeShift)+1)}
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.potStart = map[int][]float64{}
+		s.potPhase = map[int]map[int][]float64{}
+		s.colored = map[int]int{}
+		s.alive = map[int]int{}
 	}
+	return m
+}
+
+// stripe returns node's accumulator band.
+func (m *metrics) stripe(node int) *metricStripe {
+	return &m.stripes[node>>metricStripeShift]
+}
+
+// bandWidth is the node count of stripe si (the last band is short).
+func (m *metrics) bandWidth(si int) int {
+	w := m.n - si<<metricStripeShift
+	if w > 1<<metricStripeShift {
+		w = 1 << metricStripeShift
+	}
+	return w
 }
 
 func (m *metrics) addPotStart(iter, node int, phi float64) {
 	if !m.track {
 		return
 	}
-	m.mu.Lock()
-	if m.potStart[iter] == nil {
-		m.potStart[iter] = make([]float64, m.n)
+	s := m.stripe(node)
+	s.mu.Lock()
+	if s.potStart[iter] == nil {
+		s.potStart[iter] = make([]float64, m.bandWidth(node>>metricStripeShift))
 	}
-	m.potStart[iter][node] = phi
-	m.mu.Unlock()
+	s.potStart[iter][node&(1<<metricStripeShift-1)] = phi
+	s.mu.Unlock()
 }
 
 func (m *metrics) addPotPhase(iter, phase, node int, phi float64) {
 	if !m.track {
 		return
 	}
-	m.mu.Lock()
-	if m.potPhase[iter] == nil {
-		m.potPhase[iter] = map[int][]float64{}
+	s := m.stripe(node)
+	s.mu.Lock()
+	if s.potPhase[iter] == nil {
+		s.potPhase[iter] = map[int][]float64{}
 	}
-	if m.potPhase[iter][phase] == nil {
-		m.potPhase[iter][phase] = make([]float64, m.n)
+	if s.potPhase[iter][phase] == nil {
+		s.potPhase[iter][phase] = make([]float64, m.bandWidth(node>>metricStripeShift))
 	}
-	m.potPhase[iter][phase][node] = phi
-	m.mu.Unlock()
+	s.potPhase[iter][phase][node&(1<<metricStripeShift-1)] = phi
+	s.mu.Unlock()
 }
 
-// sumNodeOrder folds per-node contributions in ascending node order.
-func sumNodeOrder(vals []float64) float64 {
-	total := 0.0
+// sumNodeOrder folds per-node contributions into the running total in
+// ascending node order. Callers folding striped storage thread one
+// accumulator through every band so the additions happen in exactly
+// the order a single n-length slice would produce.
+func sumNodeOrder(total float64, vals []float64) float64 {
 	for _, v := range vals {
 		total += v
 	}
 	return total
 }
 
-func (m *metrics) addColored(iter, weight int) {
-	m.mu.Lock()
-	m.colored[iter] += weight
-	m.mu.Unlock()
+func (m *metrics) addColored(iter, node, weight int) {
+	s := m.stripe(node)
+	s.mu.Lock()
+	s.colored[iter] += weight
+	s.mu.Unlock()
 }
 
-func (m *metrics) addAlive(iter, weight int) {
-	m.mu.Lock()
-	m.alive[iter] += weight
-	m.mu.Unlock()
+func (m *metrics) addAlive(iter, node, weight int) {
+	s := m.stripe(node)
+	s.mu.Lock()
+	s.alive[iter] += weight
+	s.mu.Unlock()
+}
+
+// The collection accessors run only after the engine run has completed
+// (or before it starts, for restored-run prefills), so they read the
+// stripes unlocked, like the single-accumulator reads they replace.
+
+// aliveTotal sums the stripes' alive counts for one iteration; ok
+// reports whether any node recorded the iteration at all.
+func (m *metrics) aliveTotal(iter int) (total int, ok bool) {
+	for i := range m.stripes {
+		if a, has := m.stripes[i].alive[iter]; has {
+			total += a
+			ok = true
+		}
+	}
+	return total, ok
+}
+
+func (m *metrics) coloredTotal(iter int) int {
+	total := 0
+	for i := range m.stripes {
+		total += m.stripes[i].colored[iter]
+	}
+	return total
+}
+
+// potStartSum folds iteration iter's Φ₀ contributions: one running
+// accumulator over stripes in order, nodes ascending within each — the
+// exact ascending-node-order sum of the unstriped slice (absent bands
+// skip the same +0 terms their zero entries added, which never changes
+// a finite partial sum starting at +0).
+func (m *metrics) potStartSum(iter int) float64 {
+	total := 0.0
+	for i := range m.stripes {
+		total = sumNodeOrder(total, m.stripes[i].potStart[iter])
+	}
+	return total
+}
+
+func (m *metrics) potPhaseSum(iter, phase int) float64 {
+	total := 0.0
+	for i := range m.stripes {
+		total = sumNodeOrder(total, m.stripes[i].potPhase[iter][phase])
+	}
+	return total
+}
+
+// dropIter releases a folded iteration's per-node contribution slices.
+func (m *metrics) dropIter(iter int) {
+	for i := range m.stripes {
+		delete(m.stripes[i].potStart, iter)
+		delete(m.stripes[i].potPhase, iter)
+	}
 }
 
 // ListColorCONGEST solves the (degree+1)-list-coloring instance in the
@@ -323,10 +413,10 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 	m := newMetrics(opts.TrackPotentials, inst.G.N())
 	colors := make([]uint32, inst.G.N())
 	coloredFlag := make([]bool, inst.G.N())
-	ar := newRunArenas(inst)
+	ar := newRunArenas(inst, opts.Workers)
 	var mu sync.Mutex
 
-	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds}
+	cfg := congest.Config{MaxWords: opts.MaxWords, MaxRounds: opts.MaxRounds, Workers: opts.Workers}
 	var restore []*nodeRestore
 	if ckr != nil {
 		cfg.Checkpoint = ckr.ck
@@ -374,24 +464,23 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		}
 	}
 	for iter := 0; ; iter++ {
-		a, ok := m.alive[iter]
+		a, ok := m.aliveTotal(iter)
 		if !ok {
 			break
 		}
 		res.Iterations++
 		res.AliveAt = append(res.AliveAt, a)
-		res.Colored = append(res.Colored, m.colored[iter])
+		res.Colored = append(res.Colored, m.coloredTotal(iter))
 		if opts.TrackPotentials {
-			res.PotentialStart = append(res.PotentialStart, sumNodeOrder(m.potStart[iter]))
+			res.PotentialStart = append(res.PotentialStart, m.potStartSum(iter))
 			phases := make([]float64, p.LogC)
 			for l := 1; l <= p.LogC; l++ {
-				phases[l-1] = sumNodeOrder(m.potPhase[iter][l])
+				phases[l-1] = m.potPhaseSum(iter, l)
 			}
 			res.PotentialPhase = append(res.PotentialPhase, phases)
 			// Folded: release the per-node contribution slices so tracked
 			// runs hold at most the iterations not yet collected.
-			delete(m.potStart, iter)
-			delete(m.potPhase, iter)
+			m.dropIter(iter)
 		}
 	}
 	if res.Done && weights == nil {
@@ -455,6 +544,7 @@ type nodeState struct {
 	phaseBasis gf2.Basis  // reused seed-bit basis (one Reset per phase)
 	convVec    [2]float64 // reused aggregation input vector
 	ownedIdx   []int32    // neighbor indexes of owned conflict edges (rebuilt per phase)
+	memoStripe int        // this node's marginal-memo stripe (margStripeFor)
 
 	// msgArena holds the reusable outgoing payload buffers, 4 words (the
 	// bandwidth cap) per neighbor, two arenas alternating by round
@@ -493,17 +583,20 @@ func (ns *nodeState) neighborForms(i int, psi uint64) []gf2.Form {
 	return ns.nbrForms[i]
 }
 
-// runArenas holds one run's per-edge node state in flat arrays indexed
-// by the graph's edge IDs: node v's share of every array is the range
-// [ArcBase(v), ArcBase(v)+Degree(v)) — eid(v,i) = ArcBase(v)+i — so a
-// run makes one allocation per kind of state instead of one per node,
-// and a node's conflict walks touch memory contiguous in its edge IDs.
-// Each node writes only its own carved range, so sharing the arrays
-// across the engine's node goroutines is race-free. The list/cands
-// arrays use their own offsets (per-node color lists are deg+1+slack
-// long, not deg).
+// runArenas holds one run's per-edge node state in flat arrays carved
+// per node: node v's share of every array is the range
+// [off[v], off[v+1]) — so a run makes one allocation per kind of state
+// instead of one per node, and a node's conflict walks touch memory
+// contiguous in its edge IDs. Each node writes only its own carved
+// range, so sharing the arrays across the engine's node goroutines is
+// race-free. The list/cands arrays use their own offsets (per-node
+// color lists are deg+1+slack long, not deg).
 type runArenas struct {
-	off []int32 // edge-ID offsets: the graph's CSR offset table
+	// off is the per-node carve offset table: the graph's CSR arc
+	// offsets, shifted by a cache-line-sized gap at every engine
+	// delivery-shard boundary so that two shards' node states never
+	// share a line (newRunArenas).
+	off []int32
 
 	aliveNbr []bool // by edge ID: neighbor still uncolored
 	conflict []bool // by edge ID: same prefix, both alive
@@ -534,12 +627,33 @@ type runArenas struct {
 // one color class's induced subgraph at a time (never the whole input
 // graph), so the bound stays proportional to a class, and within a
 // class the arenas replace tens of per-node allocations per node.
-func newRunArenas(inst *graph.Instance) *runArenas {
+func newRunArenas(inst *graph.Instance, workers int) *runArenas {
 	g := inst.G
-	arcs := g.NumArcs()
-	// The edge-ID offsets are the graph's own CSR offset table; the
-	// arenas never mutate it, so it is shared rather than copied.
-	off, _ := g.CSR()
+	csrOff, _ := g.CSR()
+	// Pad the carve offsets: insert a 64-element gap (≥ one cache line
+	// for every element width in the arenas) wherever the engine's
+	// delivery-shard sizing would cut the node range, so the workers'
+	// per-node writes land on disjoint lines. The cut positions assume
+	// the engine's contiguous i·n/S shard bounds over the whole node
+	// range — exact for single-component instances (the million-node
+	// tier); multi-component runs still get gaps of the right density.
+	// Padding shifts carve offsets only: every per-node slice is the
+	// same length at every worker count, so results are unaffected.
+	off := csrOff
+	if s := congest.DeliveryShards(g.N(), workers); s > 1 {
+		const padArcs = 64
+		n := g.N()
+		off = make([]int32, n+1)
+		pads, cut := int32(0), 1
+		for v := 0; v <= n; v++ {
+			for cut < s && v == cut*n/s {
+				pads += padArcs
+				cut++
+			}
+			off[v] = csrOff[v] + pads
+		}
+	}
+	arcs := int(off[g.N()])
 	ar := &runArenas{
 		off:       off,
 		aliveNbr:  make([]bool, arcs),
@@ -569,9 +683,14 @@ func (ns *nodeState) init(inst *graph.Instance, ar *runArenas) {
 	v := ns.ctx.ID()
 	// Widen before any arithmetic: 4*lo in the msg-arena carve would
 	// wrap int32 from 2^29 arcs on, far inside the layout's 2^31-1 cap.
-	lo, hi := int(ar.off[v]), int(ar.off[v+1])
+	// The carve is [off[v], off[v]+deg), not [off[v], off[v+1]): any
+	// shard-boundary pad between v and v+1 stays in the gap between the
+	// two carves instead of inflating v's apparent degree.
+	lo := int(ar.off[v])
+	hi := lo + inst.G.Degree(v)
 	ns.alive = true
 	ns.coloredAt = -1
+	ns.memoStripe = margStripeFor(v, inst.G.N())
 	ns.aliveNbr = ar.aliveNbr[lo:hi:hi]
 	for i := range ns.aliveNbr {
 		ns.aliveNbr[i] = true
@@ -634,7 +753,7 @@ func (ns *nodeState) loop(startIter int) {
 			return
 		}
 		if ns.alive {
-			ns.m.addAlive(iter, ns.weight)
+			ns.m.addAlive(iter, ns.ctx.ID(), ns.weight)
 		}
 		ns.partialIteration(iter)
 	}
@@ -794,7 +913,7 @@ func (ns *nodeState) finishIteration(iter int, inMIS bool) {
 		ns.colored = true
 		ns.alive = false
 		ns.coloredAt = iter
-		ns.m.addColored(iter, ns.weight)
+		ns.m.addColored(iter, ns.ctx.ID(), ns.weight)
 		for i, w := range ns.ctx.Neighbors() {
 			ns.ctx.Send(int(w), append(ns.msgBuf(i), tagFinal, uint64(ns.color)))
 		}
@@ -902,10 +1021,10 @@ func (ns *nodeState) runPhase(iter, l int) {
 					// returns the bit-identical value a local walk computes).
 					cv := nbrCoins[i]
 					mk3 := uint64(j) | uint64(ns.p.M)<<8 | uint64(ns.p.B)<<16
-					pv0, pv1, ok := margLoad(ns.nbrPsi[i], cv.Threshold(), prefix, mk3)
+					pv0, pv1, ok := margLoad(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3)
 					if !ok {
 						pv0, pv1 = sb.ProbOnePair(cv)
-						margStore(ns.nbrPsi[i], cv.Threshold(), prefix, mk3, pv0, pv1)
+						margStore(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3, pv0, pv1)
 					}
 					p1u0, p110, p1u1, p111 := sb.EdgePairGivenMarginal(myCoin, cv, pv0, pv1)
 					x0 += edgeCombine(p1u0, pv0, p110, k1, k0, k1v, k0v)

@@ -153,15 +153,30 @@ func TestMarginalMemoPinsPureValues(t *testing.T) {
 	defer sb.Release()
 	p0, p1 := sb.ProbOnePair(coin)
 	const k3 = uint64(1) | 8<<8 | 6<<16
-	margStore(13, coin.Threshold(), 1, k3, p0, p1)
-	g0, g1, hit := margLoad(13, coin.Threshold(), 1, k3)
+	margStore(0, 13, coin.Threshold(), 1, k3, p0, p1)
+	g0, g1, hit := margLoad(0, 13, coin.Threshold(), 1, k3)
 	if !hit {
 		t.Fatal("stored entry not found")
 	}
 	if math.Float64bits(g0) != math.Float64bits(p0) || math.Float64bits(g1) != math.Float64bits(p1) {
 		t.Fatalf("memo returned (%v,%v), stored (%v,%v)", g0, g1, p0, p1)
 	}
-	if _, _, hit := margLoad(14, coin.Threshold(), 1, k3); hit {
+	if _, _, hit := margLoad(0, 14, coin.Threshold(), 1, k3); hit {
 		t.Fatal("memo hit on a different key")
+	}
+	// Stripes are disjoint tables: the same key misses in another stripe
+	// (owners there recompute the same pure value instead of sharing).
+	if _, _, hit := margLoad(1, 13, coin.Threshold(), 1, k3); hit {
+		t.Fatal("memo hit across stripes")
+	}
+	// Stripe mapping: contiguous bands covering [0, n), clamped in range.
+	if margStripeFor(0, 1<<20) != 0 || margStripeFor(1<<20-1, 1<<20) != margStripes-1 {
+		t.Fatal("stripe band endpoints wrong")
+	}
+	for v := 0; v < 1000; v++ {
+		s := margStripeFor(v*1013, 1<<20)
+		if s < 0 || s >= margStripes {
+			t.Fatalf("stripe %d out of range", s)
+		}
 	}
 }

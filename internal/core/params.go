@@ -64,6 +64,11 @@ type Options struct {
 	MaxWords int
 	// MaxRounds overrides the CONGEST round cap (0 = default).
 	MaxRounds int
+	// Workers bounds the simulator's delivery/compute parallelism: 0
+	// sizes the engine's worker pool from GOMAXPROCS, n > 0 caps it at n
+	// shards. Colors, Stats, and telemetry are bit-identical for every
+	// setting; the engine rejects negative or absurd values.
+	Workers int
 
 	// refEval routes every derandomization phase through the
 	// pre-optimization evaluation path (runPhaseRef). Test-only: the
@@ -187,28 +192,56 @@ func EdgeExpectationSplit(sb *gf2.SplitBasis, cu, cv gf2.Coin, k1u, k0u, k1v, k0
 // written and read with per-word atomics and validated by the sequence
 // number, collisions simply overwrite, and a lost or stale entry only
 // costs a recomputation of the same bit-identical value.
-const margSlots = 1 << 15
+//
+// The table is striped: each engine-shard-sized band of owner nodes
+// hashes into its own slot array, and a slot is exactly one cache line,
+// so concurrent phase-loop workers never write-share memo lines. Owners
+// in different stripes recompute instead of sharing a neighbor's entry —
+// the values are pure, so striping changes cache behavior only, never a
+// probability bit.
+const (
+	margStripes     = 8
+	margStripeSlots = 1 << 13
+)
 
+// margSlot is one seqlock memo entry: seq + 4 key words + 2 value words
+// = 56 bytes, padded to a full 64-byte cache line so neighboring slots
+// (and neighboring stripes) never false-share.
 type margSlot struct {
 	seq atomic.Uint64
 	k   [4]atomic.Uint64
 	v   [2]atomic.Uint64
+	_   [1]uint64
 }
 
-var margTab [margSlots]margSlot
+var margTab [margStripes][margStripeSlots]margSlot
 
-func margIndex(k0, k1, k2, k3 uint64) *margSlot {
+// margStripeFor maps owner node v of an n-node run to its memo stripe:
+// contiguous node bands, aligned with how the engine cuts delivery
+// shards, so one phase-loop worker stays inside one stripe.
+func margStripeFor(v, n int) int {
+	if n <= 0 || v < 0 {
+		return 0
+	}
+	s := v * margStripes / n
+	if s >= margStripes {
+		s = margStripes - 1
+	}
+	return s
+}
+
+func margIndex(stripe int, k0, k1, k2, k3 uint64) *margSlot {
 	h := uint64(1469598103934665603)
 	for _, w := range [4]uint64{k0, k1, k2, k3} {
 		h ^= w
 		h *= 1099511628211
 	}
-	return &margTab[(h^h>>29)&(margSlots-1)]
+	return &margTab[stripe][(h^h>>29)&(margStripeSlots-1)]
 }
 
 //sbw:allocfree phase-step kernel: seqlock memo read on every owned edge
-func margLoad(k0, k1, k2, k3 uint64) (p0, p1 float64, ok bool) {
-	s := margIndex(k0, k1, k2, k3)
+func margLoad(stripe int, k0, k1, k2, k3 uint64) (p0, p1 float64, ok bool) {
+	s := margIndex(stripe, k0, k1, k2, k3)
 	s1 := s.seq.Load()
 	if s1&1 != 0 {
 		return 0, 0, false
@@ -222,8 +255,8 @@ func margLoad(k0, k1, k2, k3 uint64) (p0, p1 float64, ok bool) {
 }
 
 //sbw:allocfree phase-step kernel: seqlock memo publish on memo miss
-func margStore(k0, k1, k2, k3 uint64, p0, p1 float64) {
-	s := margIndex(k0, k1, k2, k3)
+func margStore(stripe int, k0, k1, k2, k3 uint64, p0, p1 float64) {
+	s := margIndex(stripe, k0, k1, k2, k3)
 	s1 := s.seq.Load()
 	if s1&1 != 0 || !s.seq.CompareAndSwap(s1, s1+1) {
 		return // another writer owns the slot; drop this entry

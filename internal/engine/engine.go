@@ -145,6 +145,15 @@ type Config struct {
 	// ("congest", "clique", ...) so violations read in the caller's
 	// vocabulary. Empty means "engine".
 	Model string
+	// Workers bounds the delivery/compute parallelism of the run: the
+	// worker count of each domain's shard pool and the number of lockstep
+	// domains in flight. Zero inherits GOMAXPROCS (the historical
+	// behavior); negative values or values beyond MaxWorkers are rejected
+	// with a diagnostic before any node program starts. The worker count
+	// never changes results — receiver-sharded delivery keeps Stats and
+	// protocol behavior bit-identical at any setting (the
+	// *DeterministicAcrossShards suites pin this).
+	Workers int
 	// Checkpoint, when non-nil, collects consistent per-domain cuts at
 	// the round barriers in which every node committed its state (see
 	// Ctx.Commit). While attached, delivery runs inline on the round
@@ -158,6 +167,11 @@ type Config struct {
 	// without a cut start fresh; nodes marked done are never spawned.
 	Resume *RunSnapshot
 }
+
+// MaxWorkers caps Config.Workers: beyond this the setting is a typo or
+// an attempt to use a worker count as something else, not a parallelism
+// choice any host could honor.
+const MaxWorkers = 4096
 
 func (c Config) withDefaults() Config {
 	if c.MaxWords == 0 {
@@ -339,13 +353,25 @@ func (c *Ctx) SendQueued(to int, msg Message) {
 // noteQueued maintains the dirty accounting: called before a push that
 // makes the edge queue at index i non-empty, it bumps the sender-shard
 // queue counter and flags the receiver as having pending incoming
-// traffic. Both writes are ordered before the barrier that delivers
-// them, since the sender reaches its own barrier arrival after sending.
+// traffic. The sender that flips the receiver's rdirty flag false→true
+// also appends the receiver to its shard's delivery worklist (the CAS
+// makes the append exactly-once per receiver per list), so a round's
+// delivery walks only the receivers that actually have traffic instead
+// of scanning the whole flag array. All writes are ordered before the
+// barrier that delivers them, since the sender reaches its own barrier
+// arrival after sending.
 func (c *Ctx) noteQueued(i int) {
 	if c.outbox[i].size() == 0 {
 		c.r.dirty[c.shard].v.Add(1)
 		rc := c.r.ctxs[c.nbr[i]]
-		c.r.rdirty[rc.domIdx].Store(true)
+		if c.r.rdirty[rc.domIdx].CompareAndSwap(false, true) {
+			sw := &c.r.work[rc.shard]
+			// Concurrent senders (to different receivers of this shard)
+			// claim disjoint slots via the cursor; the side index is stable
+			// while any sender runs — it flips only during delivery, with
+			// every sender parked at the barrier.
+			sw.lists[sw.side][sw.count[sw.side].Add(1)-1] = rc.domIdx
+		}
 		slot := c.srcSlot[i]
 		w := &rc.pending[slot>>6]
 		bit := uint64(1) << (slot & 63)
@@ -410,14 +436,16 @@ func (c *Ctx) SkipUntil(target int) []Incoming {
 	if target <= r.round {
 		return nil
 	}
-	r.skipMu.Lock()
-	g := r.skipAt[target]
+	s := &r.skipShards[c.shard]
+	s.mu.Lock()
+	g := s.at[target]
 	if g == nil {
 		g = &skipGroup{ch: make(chan struct{})}
-		r.skipAt[target] = g
+		s.at[target] = g
+		r.skipGroups.Add(1)
 	}
 	g.n++
-	r.skipMu.Unlock()
+	s.mu.Unlock()
 	r.leaves.Add(1)
 	if r.pending.Add(-1) == 0 {
 		r.completeRound()
@@ -552,19 +580,35 @@ type runner struct {
 
 	// rdirty[idx] is set by senders when an incoming edge queue of node
 	// nodes[idx] becomes non-empty, and cleared by the delivery worker
-	// owning that receiver once all its incoming queues drain. Delivery
-	// skips receivers whose flag is clear; a flat array (instead of a
-	// flag on each Ctx) lets the per-round scan walk contiguous memory
-	// rather than chase one pointer per node.
+	// owning that receiver once all its incoming queues drain. The flag
+	// doubles as the exactly-once guard for the per-shard delivery
+	// worklists in `work`: the sender whose CAS flips it appends the
+	// receiver there, so delivery never scans this array — a round's cost
+	// is O(receivers with traffic), not O(domain), which is what lets
+	// wave-shaped protocols (BFS converges, flooding fronts) scale to
+	// million-node domains.
 	rdirty []atomic.Bool
 
-	// skipAt groups the nodes sleeping in SkipUntil by their wake round.
-	// The leader readmits a group to the population when it advances into
-	// that round, and fast-forwards rounds when every remaining node is
-	// asleep. skipMu guards the map: registrations happen while nodes run
-	// between barriers, wake-ups inside the single-threaded leader.
-	skipMu sync.Mutex
-	skipAt map[int]*skipGroup
+	// work[s] is shard s's delivery worklist: the receivers (domain
+	// indexes) owned by shard s that have pending inbound traffic this
+	// round. Double-buffered — senders append to lists[side] between
+	// barriers, delivery drains it and re-appends backlogged receivers to
+	// the other side before flipping, with the flip ordered before any
+	// sender wakes by the release-channel chain.
+	work []shardWork
+
+	// skipShards groups the nodes sleeping in SkipUntil by wake round,
+	// striped by the sleeper's shard so a converge wave registering the
+	// whole domain in one round doesn't serialize on a single mutex. The
+	// leader readmits groups when it advances into their round (collecting
+	// across stripes), and fast-forwards when every remaining node is
+	// asleep. skipGroups counts the live groups across all stripes, so the
+	// quiet-path checks stay O(1).
+	skipShards []skipShard
+	skipGroups atomic.Int64
+	// wakeScratch is the leader's reusable buffer for the groups waking
+	// into the round being entered (leader-only).
+	wakeScratch []*skipGroup
 
 	// NextDelivery accounting: waiters counts sleeping message-waiters;
 	// wokenByShard collects, per delivery worker, the waiters that shard
@@ -590,6 +634,29 @@ type runner struct {
 type skipGroup struct {
 	n  int64
 	ch chan struct{}
+}
+
+// skipShard is one stripe of the SkipUntil registry, padded so stripes
+// under concurrent registration don't share cache lines.
+type skipShard struct {
+	mu sync.Mutex
+	at map[int]*skipGroup
+	_  [4]uint64
+}
+
+// shardWork is one shard's double-buffered delivery worklist. Senders
+// append receiver indexes to lists[side] through an atomic cursor (the
+// rdirty CAS in noteQueued makes each receiver appear at most once);
+// the shard's delivery drains the current side, re-appends backlogged
+// receivers to the other, and flips. List order is sender-arrival order
+// and so scheduler-dependent — harmless, because each receiver's inbox
+// is still filled in ascending sender order by the pending-bitmap walk,
+// and the leader-side checkpoint staging iterates nodes, not worklists.
+type shardWork struct {
+	lists [2][]int32
+	count [2]atomic.Int32
+	side  int
+	_     [4]uint64
 }
 
 // shardMin keeps tiny topologies on the sequential path: below this many
@@ -642,15 +709,29 @@ func (r *runner) completeRound() {
 	r.active -= r.leaves.Swap(0)
 	for {
 		// Nodes scheduled to wake in the round being entered rejoin the
-		// population before that round's barrier forms.
+		// population before that round's barrier forms. Groups for one
+		// round may live in several stripes (one per sleeper shard); the
+		// leader collects them all, so nothing below depends on striping.
 		next := r.round + 1
-		r.skipMu.Lock()
-		wake := r.skipAt[next]
-		delete(r.skipAt, next)
-		skipsLeft := len(r.skipAt)
-		r.skipMu.Unlock()
-		if wake != nil {
-			r.active += wake.n
+		wake := r.wakeScratch[:0]
+		if r.skipGroups.Load() > 0 {
+			for si := range r.skipShards {
+				s := &r.skipShards[si]
+				s.mu.Lock()
+				if g := s.at[next]; g != nil {
+					delete(s.at, next)
+					wake = append(wake, g)
+				}
+				s.mu.Unlock()
+			}
+			if len(wake) > 0 {
+				r.skipGroups.Add(-int64(len(wake)))
+			}
+		}
+		r.wakeScratch = wake
+		skipsLeft := int(r.skipGroups.Load())
+		for _, g := range wake {
+			r.active += g.n
 		}
 
 		if r.active <= 0 {
@@ -668,15 +749,18 @@ func (r *runner) completeRound() {
 				// Nothing can be delivered until a skipper wakes, so jump
 				// straight to the round before the earliest wake (counting
 				// the skipped rounds) instead of ticking them one by one.
-				r.skipMu.Lock()
 				minWake := 0
-				//sbw:orderinvariant min-reduction over the wake rounds; the minimum is order-independent
-				for round := range r.skipAt {
-					if minWake == 0 || round < minWake {
-						minWake = round
+				for si := range r.skipShards {
+					s := &r.skipShards[si]
+					s.mu.Lock()
+					//sbw:orderinvariant min-reduction over the wake rounds; the minimum is order-independent
+					for round := range s.at {
+						if minWake == 0 || round < minWake {
+							minWake = round
+						}
 					}
+					s.mu.Unlock()
 				}
-				r.skipMu.Unlock()
 				if delta := minWake - 1 - r.round; delta > 0 {
 					if !r.advanceRounds(delta) {
 						r.wakeAllSleepers()
@@ -692,7 +776,7 @@ func (r *runner) completeRound() {
 				return
 			}
 			if r.anyQueued() {
-				r.deliverRange(0, len(r.nodes), 0)
+				r.deliverAll()
 				if woken := r.collectWoken(); len(woken) > 0 {
 					// Delivery woke message-waiters: form the new round's
 					// population from them and hand control back. Stage the
@@ -724,9 +808,7 @@ func (r *runner) completeRound() {
 			for _, ch := range old {
 				close(ch)
 			}
-			if wake != nil {
-				close(wake.ch)
-			}
+			closeGroups(wake)
 			r.wakeAllSleepers()
 			return
 		}
@@ -738,9 +820,7 @@ func (r *runner) completeRound() {
 			for _, ch := range old {
 				close(ch)
 			}
-			if wake != nil {
-				close(wake.ch)
-			}
+			closeGroups(wake)
 			return
 		}
 		if nshards == 1 || r.ck != nil {
@@ -749,7 +829,7 @@ func (r *runner) completeRound() {
 			// the post-delivery queue state before anyone wakes. With
 			// nshards > 1 forced inline, every shard's release channel
 			// still must close.
-			r.deliverRange(0, len(r.nodes), 0)
+			r.deliverAll()
 			woken := r.collectWoken()
 			if len(woken) > 0 {
 				r.active += int64(len(woken))
@@ -764,9 +844,7 @@ func (r *runner) completeRound() {
 			for _, ch := range old {
 				close(ch)
 			}
-			if wake != nil {
-				close(wake.ch)
-			}
+			closeGroups(wake)
 			return
 		}
 		r.left.Store(int32(nshards))
@@ -781,10 +859,16 @@ func (r *runner) completeRound() {
 		// the leader mutates nothing past this point (the next round's
 		// leader may already be running).
 		<-t.done
-		if wake != nil {
-			close(wake.ch)
-		}
+		closeGroups(wake)
 		return
+	}
+}
+
+// closeGroups releases the skip groups waking into the round just
+// entered.
+func closeGroups(wake []*skipGroup) {
+	for _, g := range wake {
+		close(g.ch)
 	}
 }
 
@@ -844,13 +928,17 @@ func wakeNodes(ws []*Ctx) {
 // and deadlock paths); the woken nodes observe the aborted flag and
 // unwind.
 func (r *runner) wakeAllSleepers() {
-	r.skipMu.Lock()
-	//sbw:orderinvariant abort/deadlock teardown; every group is closed and the run reports failure regardless of wake order
-	for round, g := range r.skipAt {
-		delete(r.skipAt, round)
-		close(g.ch)
+	for si := range r.skipShards {
+		s := &r.skipShards[si]
+		s.mu.Lock()
+		//sbw:orderinvariant abort/deadlock teardown; every group is closed and the run reports failure regardless of wake order
+		for round, g := range s.at {
+			delete(s.at, round)
+			close(g.ch)
+		}
+		s.mu.Unlock()
 	}
-	r.skipMu.Unlock()
+	r.skipGroups.Store(0)
 	for _, v := range r.nodes {
 		c := r.ctxs[v]
 		if c.waiting {
@@ -867,8 +955,7 @@ func (r *runner) wakeAllSleepers() {
 // task-channel send.
 func (r *runner) runShard(wid int) {
 	t := r.cur
-	lo, hi := r.pool.Bounds(wid)
-	r.deliverRange(lo, hi, wid)
+	r.deliverWork(wid)
 	if r.left.Add(-1) == 0 {
 		// Last shard standing: every shard has delivered. Admit the
 		// message-waiters this round woke — population count, pending
@@ -890,24 +977,30 @@ func (r *runner) runShard(wid int) {
 	close(t.old[wid])
 }
 
-// deliverRange moves one queued message per directed edge into the
-// inboxes of receivers [lo, hi): each receiver walks its incident edges
-// in sorted sender order — the exact delivery order of the sequential
-// engine, so results do not depend on the worker count — and pops the
-// head of the sender's queue slot for that edge. Receivers whose rdirty
-// flag is clear have no pending incoming traffic and are skipped without
-// touching their adjacency, so a round's cost tracks actual traffic
-// instead of the full edge set. Workers own disjoint receiver ranges,
-// and a sender's outbox slot and sentNow flag for an edge are touched
-// only by the worker owning the receiving endpoint, so delivery needs no
-// locks.
+// deliverWork moves one queued message per directed edge into the
+// inboxes of shard wid's dirty receivers: it drains the shard's current
+// worklist side instead of scanning a receiver range, so a round's cost
+// is proportional to the receivers that actually have traffic — a BFS
+// wave over a million-node domain touches the wavefront, not the domain.
+// Each receiver walks its incident edges in sorted sender order (the
+// pending-bitmap walk) — the exact delivery order of the sequential
+// engine, so results do not depend on the worker count or on the
+// worklist's sender-arrival order. Receivers with remaining backlog are
+// re-appended to the other worklist side for the next round; the flip
+// happens with every sender parked at the barrier and is ordered before
+// any release-channel close. A sender's outbox slot and sentNow flag for
+// an edge are touched only by the worker owning the receiving endpoint,
+// so delivery needs no locks.
 //sbw:allocfree engine delivery inner loop: one call per receiver shard per round
-func (r *runner) deliverRange(lo, hi, wid int) {
+func (r *runner) deliverWork(wid int) {
 	ws := &r.wstats[wid]
-	for idx := lo; idx < hi; idx++ {
-		if !r.rdirty[idx].Load() {
-			continue
-		}
+	sw := &r.work[wid]
+	side := sw.side
+	list := sw.lists[side][:sw.count[side].Load()]
+	next := side ^ 1
+	nlist := sw.lists[next]
+	carried := int32(0)
+	for _, idx := range list {
 		c := r.ctxs[r.nodes[idx]]
 		backlog := false
 		delivered := false
@@ -940,12 +1033,32 @@ func (r *runner) deliverRange(lo, hi, wid int) {
 			c.pending[wi].Store(keep)
 		}
 		c.inboxes[c.cur] = buf
-		if !backlog {
+		if backlog {
+			// Still dirty: carry the receiver into the next round's list
+			// (its rdirty flag stays set, so senders won't re-append it).
+			nlist[carried] = idx
+			carried++
+		} else {
 			r.rdirty[idx].Store(false)
 		}
 		if delivered && c.waiting {
 			r.wokenByShard[wid] = append(r.wokenByShard[wid], c) //sbw:allocok amortized: per-shard woken list is reset, not reallocated, each round
 		}
+	}
+	sw.count[next].Store(carried)
+	sw.count[side].Store(0)
+	sw.side = next
+}
+
+// deliverAll runs every shard's delivery inline on the round leader: the
+// single-shard fast path, the fast-forward path, and every round of a
+// checkpointing run (so the leader can stage the post-delivery state
+// before anyone wakes). Shards are processed in ascending order, which
+// together with the per-receiver ascending-sender walk makes the inline
+// path's observable effects identical to the pooled one.
+func (r *runner) deliverAll() {
+	for wid := range r.work {
+		r.deliverWork(wid)
 	}
 }
 
@@ -973,6 +1086,10 @@ func Run(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, error) {
 // traffic exactly.
 func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, []DomainStats, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workers < 0 || cfg.Workers > MaxWorkers {
+		return nil, nil, fmt.Errorf("%s: Workers=%d is not a usable worker count (want 0 for GOMAXPROCS, or 1..%d)",
+			cfg.Model, cfg.Workers, MaxWorkers)
+	}
 	n := top.N()
 	if n == 0 {
 		return &Stats{}, nil, nil
@@ -1035,7 +1152,10 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 	}
 	runners := make([]*runner, len(comps))
 	undelivered := make([]int, len(comps))
-	slots := runtime.GOMAXPROCS(0)
+	slots := cfg.Workers
+	if slots == 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
 	if slots < 1 {
 		slots = 1
 	}
@@ -1064,10 +1184,9 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 				sh:     sh,
 				cfg:    cfg,
 				ctxs:   ctxs,
-				pool:   NewPool(len(comp), shardMin),
+				pool:   NewPoolSized(len(comp), shardMin, cfg.Workers),
 				active: int64(live),
 				ck:     cfg.Checkpoint,
-				skipAt: make(map[int]*skipGroup),
 			}
 			runners[ci] = r
 			nshards := r.pool.Shards()
@@ -1079,6 +1198,18 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 			r.wstats = make([]WorkerStats, nshards)
 			r.dirty = make([]padCounter, nshards)
 			r.rdirty = make([]atomic.Bool, len(comp))
+			r.skipShards = make([]skipShard, nshards)
+			for i := range r.skipShards {
+				r.skipShards[i].at = make(map[int]*skipGroup)
+			}
+			// Each shard's worklist sides are sized to the shard: the
+			// rdirty CAS admits every owned receiver at most once per side.
+			r.work = make([]shardWork, nshards)
+			for i := range r.work {
+				lo, hi := r.pool.Bounds(i)
+				r.work[i].lists[0] = make([]int32, hi-lo)
+				r.work[i].lists[1] = make([]int32, hi-lo)
+			}
 			r.wokenByShard = make([][]*Ctx, nshards)
 			r.shardFns = make([]func(int), nshards)
 			for i := 0; i < nshards; i++ {

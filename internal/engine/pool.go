@@ -16,15 +16,18 @@ var forceShards int
 // let the pool size itself from GOMAXPROCS and the endpoint count.
 func SetForceShards(n int) { forceShards = n }
 
-// shardCount sizes a pool: one shard per processor, but never fewer than
-// minPerShard endpoints per shard — below that the dispatch overhead
-// outweighs the parallelism and the pool collapses to the inline
-// sequential path.
-func shardCount(n, minPerShard int) int {
+// shardCount sizes a pool: one shard per processor (or per configured
+// worker when workers > 0), but never fewer than minPerShard endpoints
+// per shard — below that the dispatch overhead outweighs the parallelism
+// and the pool collapses to the inline sequential path.
+func shardCount(n, minPerShard, workers int) int {
 	if forceShards > 0 {
 		return forceShards
 	}
-	s := runtime.GOMAXPROCS(0)
+	s := workers
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
 	if minPerShard < 1 {
 		minPerShard = 1
 	}
@@ -36,6 +39,13 @@ func shardCount(n, minPerShard int) int {
 	}
 	return s
 }
+
+// ShardsFor reports the shard count a pool over n endpoints would get
+// under the given worker bound (0 = GOMAXPROCS), honoring the test
+// hook. Callers that pad per-endpoint arenas at shard boundaries (so
+// shards never share cache lines) use it to place the pads where the
+// pool will actually cut.
+func ShardsFor(n, workers int) int { return shardCount(n, shardMin, workers) }
 
 // WorkerStats is one shard worker's message counters, accumulated
 // privately across a run (instead of contending on shared counters per
@@ -88,10 +98,17 @@ type Pool struct {
 }
 
 // NewPool creates a pool over n endpoints with at least minPerShard
-// endpoints per shard. Call Close when done: the workers are persistent
-// goroutines.
+// endpoints per shard, sized from GOMAXPROCS. Call Close when done: the
+// workers are persistent goroutines.
 func NewPool(n, minPerShard int) *Pool {
-	p := &Pool{n: n, nshards: shardCount(n, minPerShard)}
+	return NewPoolSized(n, minPerShard, 0)
+}
+
+// NewPoolSized is NewPool with an explicit worker bound: workers > 0
+// caps the shard count instead of GOMAXPROCS (the minPerShard floor and
+// the SetForceShards test hook still apply), workers = 0 is NewPool.
+func NewPoolSized(n, minPerShard, workers int) *Pool {
+	p := &Pool{n: n, nshards: shardCount(n, minPerShard, workers)}
 	p.bounds = make([]int, p.nshards+1)
 	for i := 1; i <= p.nshards; i++ {
 		p.bounds[i] = i * n / p.nshards

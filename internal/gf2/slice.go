@@ -1,0 +1,136 @@
+package gf2
+
+import "math/bits"
+
+// Bit-sliced evaluation kernels for the multicore tier.
+//
+// A SeedBlock transposes up to 64 candidate seed assignments so that one
+// machine word holds the same bit position of every seed ("lane" k = bit
+// k of each plane word). In that layout a linear form is evaluated
+// against all 64 seeds at once: each set mask bit contributes one plane
+// XOR, so Form.EvalBlock costs popcount(mask) word ops instead of 64
+// full scalar evaluations, and Coin.ValueBlock fuses the MSB-first
+// threshold comparison into the same pass with two running lane masks.
+// The scalar Form.Eval / Coin.Value path is retained unchanged as the
+// differential oracle (see TestValueBlockMatchesScalar and FuzzVecEval).
+
+// SeedBlock holds up to 64 seed assignments in bit-sliced form:
+// plane i is seed bit i across all lanes, lane k is bit k of each plane.
+// Lanes ≥ Len() behave as all-zero seeds.
+type SeedBlock struct {
+	planes [128]uint64
+	n      int
+}
+
+// NewSeedBlock transposes seeds into a block. Requires len(seeds) ≤ 64.
+func NewSeedBlock(seeds []Vec128) *SeedBlock {
+	sb := new(SeedBlock)
+	if len(seeds) > 64 {
+		panic("gf2: SeedBlock holds at most 64 lanes")
+	}
+	for k, s := range seeds {
+		sb.SetLane(k, s)
+	}
+	return sb
+}
+
+// Len returns the number of occupied lanes.
+func (sb *SeedBlock) Len() int { return sb.n }
+
+// SetLane overwrites lane k with seed, growing Len() to cover k.
+func (sb *SeedBlock) SetLane(k int, seed Vec128) {
+	if k < 0 || k >= 64 {
+		panic("gf2: SeedBlock lane out of range")
+	}
+	bit := uint64(1) << k
+	for i := range sb.planes {
+		var w uint64
+		if i < 64 {
+			w = seed.Lo >> i
+		} else {
+			w = seed.Hi >> (i - 64)
+		}
+		if w&1 != 0 {
+			sb.planes[i] |= bit
+		} else {
+			sb.planes[i] &^= bit
+		}
+	}
+	if k >= sb.n {
+		sb.n = k + 1
+	}
+}
+
+// LaneSeed reconstructs lane k's seed assignment (the transpose inverse;
+// used by the differential tests as the bridge back to the scalar path).
+func (sb *SeedBlock) LaneSeed(k int) Vec128 {
+	if k < 0 || k >= 64 {
+		panic("gf2: SeedBlock lane out of range")
+	}
+	var v Vec128
+	for i, p := range sb.planes {
+		if p>>k&1 != 0 {
+			v = v.WithBit(i, true)
+		}
+	}
+	return v
+}
+
+// EvalBlock evaluates the form against every lane of the block: bit k of
+// the result is fo.Eval(sb.LaneSeed(k)). One plane XOR per set mask bit
+// replaces 64 scalar mask-AND-parity evaluations.
+//
+//sbw:allocfree bit-sliced phase kernel: one call per form per 64-seed block
+func (fo Form) EvalBlock(sb *SeedBlock) uint64 {
+	var acc uint64
+	for w := fo.Mask.Lo; w != 0; w &= w - 1 {
+		acc ^= sb.planes[bits.TrailingZeros64(w)]
+	}
+	for w := fo.Mask.Hi; w != 0; w &= w - 1 {
+		acc ^= sb.planes[64+bits.TrailingZeros64(w)]
+	}
+	if fo.Const {
+		acc = ^acc
+	}
+	return acc
+}
+
+// ValueBlock returns the coin's outcome under every lane: bit k of the
+// result is c.Value(sb.LaneSeed(k)). The threshold comparison
+// h_S(x) mod 2^b < T runs bit-sliced alongside the form evaluations: an
+// MSB-first walk keeps a "already less" and a "still equal" lane mask,
+// so no lane ever materializes its b-bit hash value. Lanes decided early
+// (eq empty) short-circuit the remaining forms.
+//
+//sbw:allocfree bit-sliced phase kernel: one call per coin per 64-seed block
+func (c Coin) ValueBlock(sb *SeedBlock) uint64 {
+	if c.t >= uint64(1)<<c.b {
+		return ^uint64(0) // T = 2^b: the coin is constant 1 (p = 1 exactly)
+	}
+	var lt uint64
+	eq := ^uint64(0)
+	for idx := range c.forms {
+		v := c.forms[idx].EvalBlock(sb)
+		if c.t&(uint64(1)<<(c.b-1-idx)) != 0 {
+			lt |= eq &^ v
+			eq &= v
+		} else {
+			eq &^= v
+		}
+		if eq == 0 {
+			break
+		}
+	}
+	return lt
+}
+
+// ValueFromFormsBlock is the bit-sliced counterpart of ValueFromForms:
+// out[i] holds bit b−1−i of every lane's packed value (MSB first, one
+// plane word per output bit). Requires len(out) ≥ len(forms).
+//
+//sbw:allocfree bit-sliced phase kernel: one call per form window per 64-seed block
+func ValueFromFormsBlock(forms []Form, sb *SeedBlock, out []uint64) {
+	for i := range forms {
+		out[i] = forms[i].EvalBlock(sb)
+	}
+}

@@ -1,0 +1,179 @@
+package gf2
+
+import (
+	"testing"
+
+	"smallbandwidth/internal/prng"
+)
+
+// TestSeedBlockRoundTrip: LaneSeed is the inverse of SetLane, and lanes
+// beyond Len behave as zero seeds.
+func TestSeedBlockRoundTrip(t *testing.T) {
+	src := prng.New(11)
+	seeds := make([]Vec128, 64)
+	for k := range seeds {
+		seeds[k] = Vec128{Lo: src.Uint64(), Hi: src.Uint64()}
+	}
+	sb := NewSeedBlock(seeds[:37])
+	if sb.Len() != 37 {
+		t.Fatalf("Len = %d, want 37", sb.Len())
+	}
+	for k := 0; k < 37; k++ {
+		if got := sb.LaneSeed(k); got != seeds[k] {
+			t.Fatalf("lane %d: round trip gives %v, want %v", k, got, seeds[k])
+		}
+	}
+	for k := 37; k < 64; k++ {
+		if got := sb.LaneSeed(k); !got.IsZero() {
+			t.Fatalf("unoccupied lane %d is %v, want zero", k, got)
+		}
+	}
+	sb.SetLane(50, seeds[50])
+	if sb.Len() != 51 {
+		t.Fatalf("Len after SetLane(50) = %d, want 51", sb.Len())
+	}
+	if got := sb.LaneSeed(50); got != seeds[50] {
+		t.Fatalf("lane 50 after SetLane: %v, want %v", got, seeds[50])
+	}
+}
+
+// TestEvalBlockMatchesScalar: the bit-sliced form evaluation must agree
+// with the scalar oracle Form.Eval on every lane, across real hash-family
+// forms and random seeds.
+func TestEvalBlockMatchesScalar(t *testing.T) {
+	src := prng.New(23)
+	for _, m := range []int{5, 9, 17, 33} {
+		fam := MustFamily(m, 2)
+		seeds := make([]Vec128, 64)
+		for k := range seeds {
+			s := Vec128{Lo: src.Uint64(), Hi: src.Uint64()}
+			for i := fam.SeedBits(); i < 128; i++ {
+				s = s.WithBit(i, false)
+			}
+			seeds[k] = s
+		}
+		sb := NewSeedBlock(seeds)
+		for x := uint64(0); x < 20; x++ {
+			for _, fo := range fam.OutputForms(x, m) {
+				fo.Const = src.Uint64()&1 == 1
+				got := fo.EvalBlock(sb)
+				for k, s := range seeds {
+					if want := fo.Eval(s); want != (got>>k&1 == 1) {
+						t.Fatalf("m=%d x=%d lane %d: EvalBlock bit %v, scalar Eval %v",
+							m, x, k, got>>k&1 == 1, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestValueBlockMatchesScalar: the fused bit-sliced threshold comparison
+// must agree with the scalar oracle Coin.Value on every lane, including
+// the exactly-representable boundary probabilities p = 0 and p = 1.
+func TestValueBlockMatchesScalar(t *testing.T) {
+	src := prng.New(31)
+	fam := MustFamily(11, 2)
+	const b = 9
+	seeds := make([]Vec128, 64)
+	for k := range seeds {
+		s := Vec128{Lo: src.Uint64(), Hi: src.Uint64()}
+		for i := fam.SeedBits(); i < 128; i++ {
+			s = s.WithBit(i, false)
+		}
+		seeds[k] = s
+	}
+	sb := NewSeedBlock(seeds)
+	for x := uint64(0); x < 30; x++ {
+		for _, frac := range [][2]uint64{{0, 1}, {1, 1}, {1, 2}, {1, 7}, {3, 5}, {6, 7}, {src.Uint64() % 100, 100}} {
+			num, den := frac[0], frac[1]
+			if num > den {
+				num = den
+			}
+			coin, err := NewCoin(fam, x, b, num, den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := coin.ValueBlock(sb)
+			for k, s := range seeds {
+				if want := coin.Value(s); want != (got>>k&1 == 1) {
+					t.Fatalf("x=%d p=%d/%d lane %d: ValueBlock %v, scalar Value %v",
+						x, num, den, k, got>>k&1 == 1, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSliceKernelsAllocFree backs the //sbw:allocfree annotations on the
+// block kernels dynamically: with a warm SeedBlock, neither EvalBlock nor
+// ValueBlock may allocate.
+func TestSliceKernelsAllocFree(t *testing.T) {
+	src := prng.New(43)
+	fam := MustFamily(9, 2)
+	seeds := make([]Vec128, 64)
+	for k := range seeds {
+		seeds[k] = Vec128{Lo: src.Uint64() & (1<<uint(fam.SeedBits()) - 1)}
+	}
+	sb := NewSeedBlock(seeds)
+	coin, err := NewCoin(fam, 5, 7, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := fam.OutputForms(5, 9)[0]
+	var sink uint64
+	if n := testing.AllocsPerRun(200, func() {
+		sink ^= fo.EvalBlock(sb)
+		sink ^= coin.ValueBlock(sb)
+	}); n != 0 {
+		t.Fatalf("block kernels allocate %v per call with a warm SeedBlock", n)
+	}
+	_ = sink
+}
+
+// BenchmarkCoinValueScalar64 is the oracle cost of one coin against 64
+// seeds, one scalar evaluation per lane.
+func BenchmarkCoinValueScalar64(b *testing.B) {
+	src := prng.New(3)
+	fam := MustFamily(15, 2)
+	seeds := make([]Vec128, 64)
+	for k := range seeds {
+		seeds[k] = Vec128{Lo: src.Uint64() & (1<<uint(fam.SeedBits()) - 1)}
+	}
+	coin, err := NewCoin(fam, 12345, 12, 7, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, s := range seeds {
+			if coin.Value(s) {
+				sink++
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkCoinValueBlock64 is the same work through the bit-sliced
+// kernel: one ValueBlock call covers all 64 lanes.
+func BenchmarkCoinValueBlock64(b *testing.B) {
+	src := prng.New(3)
+	fam := MustFamily(15, 2)
+	seeds := make([]Vec128, 64)
+	for k := range seeds {
+		seeds[k] = Vec128{Lo: src.Uint64() & (1<<uint(fam.SeedBits()) - 1)}
+	}
+	sb := NewSeedBlock(seeds)
+	coin, err := NewCoin(fam, 12345, 12, 7, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= coin.ValueBlock(sb)
+	}
+	_ = sink
+}

@@ -16,7 +16,8 @@
 //	info <graph>         → ok graph=<g> n=.. m=.. maxdeg=.. arcs=..
 //	stats <graph>        → ok graph=<g> n=.. m=.. maxdeg=.. mindeg=..
 //	                        avgdeg=.. isolated=.. components=..
-//	color <graph> <model>→ ok graph=<g> model=<m> colors=.. hash=..
+//	color <graph> <model> [workers=N]
+//	                     → ok graph=<g> model=<m> colors=.. hash=..
 //	                        <model-specific cost fields>
 //	quit                 → ok bye (and the session ends)
 //
@@ -26,6 +27,14 @@
 // the little-endian color array — the field the differential tests and
 // the CI session diff use to pin bit-identity against direct library
 // calls.
+//
+// workers=N bounds the simulator engine's parallelism for that one
+// request (engine-backed models only: congest and decomposed). N must
+// be a positive integer no larger than the server's per-request cap
+// (Options.EngineWorkers, when set); anything else answers "err".
+// Omitting the argument uses the server's default. The knob changes
+// wall-clock only — colors, hashes, and cost fields are bit-identical
+// at every worker count.
 //
 // Every malformed request — unknown command, unknown graph, unknown
 // model, wrong arity — answers "err <reason>" and leaves the session
@@ -42,11 +51,13 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"smallbandwidth/internal/clique"
+	"smallbandwidth/internal/congest"
 	"smallbandwidth/internal/core"
 	"smallbandwidth/internal/graph"
 	"smallbandwidth/internal/mpc"
@@ -59,14 +70,22 @@ type Options struct {
 	// Workers bounds the number of concurrently executing requests
 	// across all sessions; 0 means GOMAXPROCS.
 	Workers int
+	// EngineWorkers is the per-request cap on the simulator engine's
+	// worker count: the default when a color request names no workers=N,
+	// and the largest N a request may ask for. 0 leaves requests at the
+	// engine's own GOMAXPROCS sizing with no cap. An out-of-range value
+	// is rejected per request (the engine refuses it with a diagnostic),
+	// never silently clamped.
+	EngineWorkers int
 }
 
 // Server holds the resident graphs and the worker pool. Register every
 // graph (AddGraph/LoadStore) before serving: the graph set is immutable
 // once requests flow, which is what lets sessions read it lock-free.
 type Server struct {
-	sem    chan struct{}
-	graphs map[string]*entry
+	sem       chan struct{}
+	graphs    map[string]*entry
+	engineCap int
 }
 
 // entry is one resident graph with its (Δ+1)-instance materialized at
@@ -82,7 +101,7 @@ func New(opts Options) *Server {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Server{sem: make(chan struct{}, w), graphs: map[string]*entry{}}
+	return &Server{sem: make(chan struct{}, w), graphs: map[string]*entry{}, engineCap: opts.EngineWorkers}
 }
 
 // AddGraph registers g under name and precomputes its resident
@@ -196,17 +215,50 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 		}
 		return statsResponse(args[0], e.g), false
 	case "color":
-		if len(args) != 2 {
-			return "err usage: color <graph> <model>", false
+		if len(args) != 2 && len(args) != 3 {
+			return "err usage: color <graph> <model> [workers=N]", false
 		}
 		e, err := s.lookup(args[0])
 		if err != nil {
 			return "err " + err.Error(), false
 		}
-		return colorResponse(args[0], args[1], e.inst), false
+		workers := s.engineCap
+		if len(args) == 3 {
+			w, err := s.parseWorkers(args[1], args[2])
+			if err != nil {
+				return "err " + err.Error(), false
+			}
+			workers = w
+		}
+		return colorResponse(args[0], args[1], e.inst, workers), false
 	default:
 		return fmt.Sprintf("err unknown command %q", cmd), false
 	}
+}
+
+// parseWorkers validates a color request's workers=N argument against
+// the model and the server's per-request cap. Every failure is a
+// protocol-level "err": remote input never reaches the engine with a
+// worker count the operator didn't sanction.
+func (s *Server) parseWorkers(model, arg string) (int, error) {
+	val, ok := strings.CutPrefix(arg, "workers=")
+	if !ok {
+		return 0, fmt.Errorf("usage: color <graph> <model> [workers=N], got %q", arg)
+	}
+	if model != "congest" && model != "decomposed" {
+		return 0, fmt.Errorf("workers= is not supported by model %q (engine-backed models: congest, decomposed)", model)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("workers=%s is not a usable worker count (want an integer >= 1)", val)
+	}
+	if s.engineCap > 0 && n > s.engineCap {
+		return 0, fmt.Errorf("workers=%d exceeds this server's per-request cap %d", n, s.engineCap)
+	}
+	if n > congest.MaxWorkers {
+		return 0, fmt.Errorf("workers=%d exceeds the engine maximum %d", n, congest.MaxWorkers)
+	}
+	return n, nil
 }
 
 func (s *Server) lookup(name string) (*entry, error) {
@@ -255,7 +307,7 @@ func ColorsSummary(colors []uint32) (distinct int, hash uint32) {
 	return len(seen), h.Sum32()
 }
 
-func colorResponse(name, model string, inst *graph.Instance) string {
+func colorResponse(name, model string, inst *graph.Instance, workers int) string {
 	var (
 		colors []uint32
 		extra  string
@@ -264,7 +316,7 @@ func colorResponse(name, model string, inst *graph.Instance) string {
 	switch model {
 	case "congest":
 		var res *core.Result
-		res, err = core.ListColorCONGEST(inst, core.Options{})
+		res, err = core.ListColorCONGEST(inst, core.Options{Workers: workers})
 		if err == nil {
 			colors = res.Colors
 			extra = fmt.Sprintf(" rounds=%d messages=%d maxmsgwords=%d iterations=%d",
@@ -272,7 +324,7 @@ func colorResponse(name, model string, inst *graph.Instance) string {
 		}
 	case "decomposed":
 		var res *netdecomp.DecompResult
-		res, err = netdecomp.ListColorDecomposed(inst, core.Options{})
+		res, err = netdecomp.ListColorDecomposed(inst, core.Options{Workers: workers})
 		if err == nil {
 			colors = res.Colors
 			extra = fmt.Sprintf(" chargedrounds=%d classes=%d clusters=%d",

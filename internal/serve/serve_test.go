@@ -54,6 +54,10 @@ func TestProtocolGolden(t *testing.T) {
 		"info nope",
 		"color grid fancy",
 		"color grid",
+		"color grid greedy workers=2",
+		"color grid congest workers=0",
+		"color grid congest workers=banana",
+		"color grid congest lanes=2",
 		"frobnicate",
 		"ping",
 		"quit",
@@ -67,7 +71,11 @@ func TestProtocolGolden(t *testing.T) {
 		fmt.Sprintf("ok graph=grid model=greedy colors=%d hash=%08x", distinct, hash),
 		`err unknown graph "nope" (have: gnp,grid)`,
 		`err unknown model "fancy" (want congest|decomposed|clique|mpc|greedy)`,
-		"err usage: color <graph> <model>",
+		"err usage: color <graph> <model> [workers=N]",
+		`err workers= is not supported by model "greedy" (engine-backed models: congest, decomposed)`,
+		"err workers=0 is not a usable worker count (want an integer >= 1)",
+		"err workers=banana is not a usable worker count (want an integer >= 1)",
+		`err usage: color <graph> <model> [workers=N], got "lanes=2"`,
 		`err unknown command "frobnicate"`,
 		"ok pong",
 		"ok bye",
@@ -79,6 +87,38 @@ func TestProtocolGolden(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("response %d:\n got %q\nwant %q", i, got[i], want[i])
 		}
+	}
+}
+
+// TestWorkersRequestIdenticalAndCapped: an explicit workers=N answers
+// the byte-identical line the default run produces (the engine knob
+// never changes results), and a server with a per-request cap refuses
+// requests above it while serving those within it.
+func TestWorkersRequestIdenticalAndCapped(t *testing.T) {
+	s := newTestServer(t, 2)
+	for _, model := range []string{"congest", "decomposed"} {
+		base := session(t, s, "color grid "+model)[0]
+		if !strings.HasPrefix(base, "ok ") {
+			t.Fatalf("base %s run failed: %q", model, base)
+		}
+		for _, w := range []string{"workers=1", "workers=3"} {
+			if got := session(t, s, "color grid "+model+" "+w)[0]; got != base {
+				t.Errorf("%s %s: got %q, want the default run's %q", model, w, got, base)
+			}
+		}
+	}
+
+	capped := New(Options{Workers: 1, EngineWorkers: 2})
+	if err := capped.AddGraph("grid", graph.Grid2D(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := session(t, capped, "color grid congest workers=3")[0]; got != "err workers=3 exceeds this server's per-request cap 2" {
+		t.Errorf("over-cap request: got %q", got)
+	}
+	within := session(t, capped, "color grid congest workers=2")[0]
+	deflt := session(t, capped, "color grid congest")[0] // default = the cap
+	if !strings.HasPrefix(within, "ok ") || within != deflt {
+		t.Errorf("within-cap %q vs default %q", within, deflt)
 	}
 }
 

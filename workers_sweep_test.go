@@ -1,0 +1,78 @@
+package smallbandwidth
+
+// Worker-count sweep: the engine's Workers knob bounds parallelism and
+// nothing else. Every run here must produce byte-identical results —
+// colors, stats, telemetry, charged rounds — at workers=1 and at
+// workers=N, over the conformance table and over instances large
+// enough that the worker bound genuinely cuts multiple delivery
+// shards (the engine keeps at least 256 nodes per shard, so the small
+// conformance graphs collapse to one shard at any setting; the large
+// cases are where N workers actually run concurrently).
+
+import (
+	"reflect"
+	"testing"
+)
+
+// workersSweepTable is the conformance table plus shard-splitting
+// instances: ≥ 1024 nodes cut into ≥ 4 shards at Workers=4.
+func workersSweepTable() []conformanceCase {
+	return append(conformanceTable(),
+		conformanceCase{name: "cycle1200", g: Cycle(1200)},
+		conformanceCase{name: "grid1600", g: Grid2D(40, 40)},
+	)
+}
+
+func TestWorkersSweepCONGEST(t *testing.T) {
+	for _, c := range workersSweepTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			base, err := ColorCONGEST(inst, CONGESTOptions{TrackPotentials: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				got, err := ColorCONGEST(inst, CONGESTOptions{TrackPotentials: true, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Fatalf("workers=%d: result differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkersSweepDecomposed(t *testing.T) {
+	for _, c := range workersSweepTable() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildInstance(t, c)
+			base, err := ColorDecomposed(inst, CONGESTOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ColorDecomposed(inst, CONGESTOptions{Workers: 4})
+			if err != nil {
+				t.Fatalf("workers=4: %v", err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatal("workers=4: result differs from workers=1")
+			}
+		})
+	}
+}
+
+// TestWorkersRejected: a negative or absurd worker count is a caller
+// bug and must be refused with a diagnostic before any goroutine
+// starts, not silently normalized.
+func TestWorkersRejected(t *testing.T) {
+	inst := DeltaPlusOne(Path(8))
+	for _, workers := range []int{-1, 1 << 20} {
+		if _, err := ColorCONGEST(inst, CONGESTOptions{Workers: workers}); err == nil {
+			t.Errorf("Workers=%d was accepted", workers)
+		}
+	}
+}
