@@ -434,6 +434,77 @@ func BenchmarkEdgeExpectation(b *testing.B) {
 	sinkFloat64 = sink
 }
 
+// BenchmarkEdgePairBlock measures the bit-sliced replacement for the
+// per-edge split evaluation: a sealed residual sheet carrying one owner
+// coin and several neighbor coins, one batched marginal fill, the
+// per-edge joint walks, and the incremental per-bit plane fold —
+// everything the restructured phase loop runs per seed bit for one
+// sheet, amortized per edge.
+func BenchmarkEdgePairBlock(b *testing.B) {
+	fam := gf2.MustFamily(13, 2)
+	const acc = 11
+	const nbrs = 4
+	var sheet gf2.FormSheet
+	myForms := fam.OutputForms(7, acc)
+	myLane, ok := sheet.AddForms(myForms)
+	if !ok {
+		b.Fatal("AddForms refused")
+	}
+	myCoin, err := gf2.NewCoinFromForms(myForms, 3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cu := gf2.BlockCoin{Lane: myLane, B: myCoin.Bits(), T: myCoin.Threshold()}
+	var reqs [nbrs]gf2.BlockCoin
+	for i, x := range []uint64{19, 23, 31, 41} {
+		forms := fam.OutputForms(x, acc)
+		lane, ok := sheet.AddForms(forms)
+		if !ok {
+			b.Fatal("AddForms refused")
+		}
+		c, err := gf2.NewCoinFromForms(forms, uint64(3+i), 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = gf2.BlockCoin{Lane: lane, B: c.Bits(), T: c.Threshold()}
+	}
+	sheet.Seal()
+	basis := gf2.NewBasis()
+	var out [nbrs]gf2.ProbPair
+	d := fam.SeedBits()
+	j := 0
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sb, ok := basis.Split(j)
+		if !ok {
+			b.Fatal("split refused")
+		}
+		sb.ProbOnePairBlock(&sheet, reqs[:], out[:])
+		for k := range reqs {
+			p1u0, p110, p1u1, p111 := sb.EdgePairBlock(&sheet, cu, reqs[k], out[k].P0, out[k].P1)
+			sink += p1u0 + p110 + p1u1 + p111
+		}
+		sb.Release()
+		rj := i%2 == 0
+		basis.FixBit(j, rj)
+		sheet.Fix(j, rj)
+		if j++; j == d {
+			j = 0
+			basis.Reset()
+			sheet.Reset()
+			myLane, _ = sheet.AddForms(myForms)
+			for k, x := range []uint64{19, 23, 31, 41} {
+				lane, _ := sheet.AddForms(fam.OutputForms(x, acc))
+				reqs[k].Lane = lane
+			}
+			cu.Lane = myLane
+			sheet.Seal()
+		}
+	}
+	sinkFloat64 = sink
+}
+
 var (
 	sinkUint64  uint64
 	sinkFloat64 float64

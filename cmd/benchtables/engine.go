@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	sb "smallbandwidth"
@@ -52,6 +54,60 @@ type EngineRecord struct {
 type BenchFile struct {
 	Schema  string                  `json:"schema"`
 	Engines map[string]EngineRecord `json:"engines"`
+}
+
+// workloadName formats a sized workload name as "group/kind-n". Records
+// written before the separator (e.g. "scale-build/gnp41000000") glued
+// kind and size into one unparseable token; new records always carry the
+// dash, and parseWorkloadName reads both generations.
+func workloadName(group, kind string, n int) string {
+	return fmt.Sprintf("%s/%s-%d", group, kind, n)
+}
+
+// digitKinds are the workload kinds whose own names end in a digit;
+// the legacy glued form cannot be split by trailing digits alone for
+// these ("gnp41000000" is gnp4 at n = 10⁶, not gnp at 4.1·10⁷).
+var digitKinds = []string{"gnp4", "regular4", "torus2d"}
+
+// parseWorkloadName splits a workload name into its group, kind, and
+// size, tolerating both the dashed form new records carry
+// ("scale-color/gnp4-1000000") and the legacy glued form
+// ("scale-color/gnp41000000"): glued names resolve against the known
+// digit-suffixed kinds first, then split at the longest trailing digit
+// run. Names without a size (engine-mode workloads like
+// "color/gnp-sparse") return ok = false.
+func parseWorkloadName(name string) (group, kind string, n int, ok bool) {
+	slash := strings.IndexByte(name, '/')
+	if slash < 0 {
+		return "", "", 0, false
+	}
+	group, rest := name[:slash], name[slash+1:]
+	if kind, num, found := strings.Cut(rest, "-"); found {
+		v, err := strconv.Atoi(num)
+		if err != nil || kind == "" {
+			return "", "", 0, false
+		}
+		return group, kind, v, true
+	}
+	for _, k := range digitKinds {
+		if num, found := strings.CutPrefix(rest, k); found && num != "" {
+			if v, err := strconv.Atoi(num); err == nil {
+				return group, k, v, true
+			}
+		}
+	}
+	end := len(rest)
+	for end > 0 && rest[end-1] >= '0' && rest[end-1] <= '9' {
+		end--
+	}
+	if end == len(rest) || end == 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.Atoi(rest[end:])
+	if err != nil {
+		return "", "", 0, false
+	}
+	return group, rest[:end], v, true
 }
 
 func measure(name string, n, m int, run func() (rounds int, messages, words int64)) EngineWorkload {
@@ -137,7 +193,7 @@ func cliqueBench(quick bool) []EngineWorkload {
 		}))
 	}
 	for _, c := range colorConfs {
-		out = append(out, measure(fmt.Sprintf("clique-color/regular%d", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
+		out = append(out, measure(workloadName("clique-color", "regular", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
 			res, err := enginebench.CliqueColor(c.n, c.d)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "clique color run failed: %v\n", err)
@@ -196,7 +252,7 @@ func decompBench(quick bool) []EngineWorkload {
 		}
 	}
 	g := enginebench.DecompGraph("cycle", buildN)
-	out = append(out, measure(fmt.Sprintf("decomp-build/cycle%d", buildN), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("decomp-build", "cycle", buildN), g.N(), g.M(), func() (int, int64, int64) {
 		d, err := enginebench.DecompBuild(g)
 		fail("build", err)
 		return d.ChargedRound, int64(len(d.Clusters)), int64(d.Beta)
@@ -251,13 +307,13 @@ func scaleBench(quick bool) []EngineWorkload {
 	var out []EngineWorkload
 	graphs := map[string]*sb.Graph{}
 	for _, kind := range enginebench.ScaleKinds {
-		w, g := measureBuild(fmt.Sprintf("scale-build/%s%d", kind, n), func() *sb.Graph {
+		w, g := measureBuild(workloadName("scale-build", kind, n), func() *sb.Graph {
 			return enginebench.ScaleGraph(kind, n)
 		})
 		out = append(out, w)
 		graphs[kind] = g
 	}
-	out = append(out, measure(fmt.Sprintf("scale-round/chunglu%d", n),
+	out = append(out, measure(workloadName("scale-round", "chunglu", n),
 		graphs["chunglu"].N(), graphs["chunglu"].M(), func() (int, int64, int64) {
 			st, err := enginebench.ScaleRound(graphs["chunglu"])
 			fail("round", err)
@@ -266,14 +322,14 @@ func scaleBench(quick bool) []EngineWorkload {
 	graphs["chunglu"] = nil
 	for _, kind := range []string{"gnp4", "grid"} {
 		g := graphs[kind]
-		out = append(out, measure(fmt.Sprintf("scale-color/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		out = append(out, measure(workloadName("scale-color", kind, n), g.N(), g.M(), func() (int, int64, int64) {
 			res, err := enginebench.Color(g)
 			fail("color", err)
 			return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
 		}))
 	}
 	g := graphs["grid"]
-	out = append(out, measure(fmt.Sprintf("scale-decomp/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("scale-decomp", "grid", n), g.N(), g.M(), func() (int, int64, int64) {
 		res, err := enginebench.DecompColor(g, true)
 		fail("decomp", err)
 		return res.ChargedRounds, res.Messages, res.Words
@@ -303,7 +359,7 @@ func mpcBench(quick bool) []EngineWorkload {
 		}))
 	}
 	for _, c := range colorConfs {
-		out = append(out, measure(fmt.Sprintf("mpc-color/regular%d", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
+		out = append(out, measure(workloadName("mpc-color", "regular", c.d), c.n, c.n*c.d/2, func() (int, int64, int64) {
 			res, err := enginebench.MPCColor(c.n, c.d)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mpc color run failed: %v\n", err)

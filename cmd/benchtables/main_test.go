@@ -7,6 +7,39 @@ import (
 	"testing"
 )
 
+// TestParseWorkloadName pins the sized-workload name reader against
+// both generations of records: the dashed names new sweeps emit and the
+// glued kind+size tokens older BENCH files carry.
+func TestParseWorkloadName(t *testing.T) {
+	cases := []struct {
+		name  string
+		group string
+		kind  string
+		n     int
+		ok    bool
+	}{
+		{"scale-color/grid-100000", "scale-color", "grid", 100000, true},
+		{"scale-build/gnp4-1000000", "scale-build", "gnp4", 1000000, true},
+		{"scale-build/gnp41000000", "scale-build", "gnp4", 1000000, true},
+		{"scale-round/chunglu100000", "scale-round", "chunglu", 100000, true},
+		{"store-serve8/grid-100000", "store-serve8", "grid", 100000, true},
+		{"color/gnp-sparse", "", "", 0, false},
+		{"barrier/regular4", "barrier", "regular", 4, true},
+		{"clique-flood/512", "", "", 0, false},
+		{"noslash", "", "", 0, false},
+	}
+	for _, c := range cases {
+		group, kind, n, ok := parseWorkloadName(c.name)
+		if group != c.group || kind != c.kind || n != c.n || ok != c.ok {
+			t.Errorf("parseWorkloadName(%q) = (%q, %q, %d, %v), want (%q, %q, %d, %v)",
+				c.name, group, kind, n, ok, c.group, c.kind, c.n, c.ok)
+		}
+	}
+	if got := workloadName("scale-color", "grid", 100000); got != "scale-color/grid-100000" {
+		t.Errorf("workloadName = %q", got)
+	}
+}
+
 // TestBenchtablesRecordsMPC drives the binary end to end in its quick
 // recorder mode: it must produce a valid BENCH-schema JSON file. One
 // invocation only — benchtables registers its -quick flag at package

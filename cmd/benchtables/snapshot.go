@@ -44,7 +44,7 @@ func snapshotBench(quick bool) []EngineWorkload {
 			cuts[c.Root] = c
 		}
 	}}
-	out = append(out, measure(fmt.Sprintf("snap-record/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("snap-record", "grid", n), g.N(), g.M(), func() (int, int64, int64) {
 		res, err := core.ListColorResumable(inst, opts, ck, nil)
 		fail("record", err)
 		return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words
@@ -60,20 +60,20 @@ func snapshotBench(quick bool) []EngineWorkload {
 	cutRound := snap.Cuts[0].Round
 
 	var raw []byte
-	out = append(out, measure(fmt.Sprintf("snap-encode/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("snap-encode", "grid", n), g.N(), g.M(), func() (int, int64, int64) {
 		raw = core.EncodeCheckpoint(&core.Checkpoint{Inst: inst, Opts: opts, Snap: snap})
 		return cutRound, int64(len(snap.Cuts)), int64(len(raw))
 	}))
 
 	var cp *core.Checkpoint
-	out = append(out, measure(fmt.Sprintf("snap-decode/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("snap-decode", "grid", n), g.N(), g.M(), func() (int, int64, int64) {
 		var err error
 		cp, err = core.DecodeCheckpoint(raw)
 		fail("decode", err)
 		return cutRound, int64(len(cp.Snap.Cuts)), int64(len(raw))
 	}))
 
-	out = append(out, measure(fmt.Sprintf("snap-resume/grid%d", n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("snap-resume", "grid", n), g.N(), g.M(), func() (int, int64, int64) {
 		res, err := core.ListColorFromCheckpoint(cp, nil)
 		fail("resume", err)
 		return res.Stats.Rounds, res.Stats.Messages, res.Stats.Words

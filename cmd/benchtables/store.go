@@ -46,7 +46,7 @@ func storeBench(quick bool) []EngineWorkload {
 
 	// The graph under test, and the regeneration baseline the load path
 	// replaces (the acceptance ratio below is load vs this rebuild).
-	rebuild, g := measureBuild(fmt.Sprintf("store-rebuild/%s%d", kind, n), func() *sb.Graph {
+	rebuild, g := measureBuild(workloadName("store-rebuild", kind, n), func() *sb.Graph {
 		return enginebench.ScaleGraph(kind, n)
 	})
 	out = append(out, rebuild)
@@ -63,7 +63,7 @@ func storeBench(quick bool) []EngineWorkload {
 	})
 	text := sbld.String()
 	var ingested *graph.Graph
-	out = append(out, measure(fmt.Sprintf("store-ingest/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("store-ingest", kind, n), g.N(), g.M(), func() (int, int64, int64) {
 		var stats *store.IngestStats
 		var err error
 		ingested, stats, err = store.Ingest(strings.NewReader(text))
@@ -80,7 +80,7 @@ func storeBench(quick bool) []EngineWorkload {
 	}
 	ingested = nil
 
-	out = append(out, measure(fmt.Sprintf("store-encode/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("store-encode", kind, n), g.N(), g.M(), func() (int, int64, int64) {
 		fail("write", store.Write(path, g))
 		st, err := os.Stat(path)
 		fail("stat", err)
@@ -92,7 +92,7 @@ func storeBench(quick bool) []EngineWorkload {
 		name string
 		load func(string) (*graph.Graph, *store.Info, error)
 	}{{"load", store.Load}, {"loadtrust", store.LoadTrusted}} {
-		w := measure(fmt.Sprintf("store-%s/%s%d", mode.name, kind, n), g.N(), g.M(), func() (int, int64, int64) {
+		w := measure(workloadName("store-"+mode.name, kind, n), g.N(), g.M(), func() (int, int64, int64) {
 			lg, info, err := mode.load(path)
 			fail(mode.name, err)
 			loaded = lg
@@ -109,7 +109,7 @@ func storeBench(quick bool) []EngineWorkload {
 
 	// First query on a freshly loaded graph: list build + greedy + full
 	// verification — the end-to-end cost of "store file to first answer".
-	out = append(out, measure(fmt.Sprintf("store-firstquery/%s%d", kind, n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName("store-firstquery", kind, n), g.N(), g.M(), func() (int, int64, int64) {
 		lg, _, err := store.LoadTrusted(path)
 		fail("firstquery load", err)
 		inst := graph.DeltaPlusOneInstance(lg)
@@ -128,7 +128,7 @@ func storeBench(quick bool) []EngineWorkload {
 	var ref strings.Builder
 	fail("serve reference", srv.HandleSession(strings.NewReader(script), &ref))
 	const sessions = 8
-	out = append(out, measure(fmt.Sprintf("store-serve%d/%s%d", sessions, kind, n), g.N(), g.M(), func() (int, int64, int64) {
+	out = append(out, measure(workloadName(fmt.Sprintf("store-serve%d", sessions), kind, n), g.N(), g.M(), func() (int, int64, int64) {
 		fail("serve sweep", serveBitIdentity(srv, sessions, script, ref.String()))
 		return sessions, 0, 0
 	}))

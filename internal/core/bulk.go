@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"smallbandwidth/internal/congest"
+	"smallbandwidth/internal/gf2"
+)
+
+// phaseHub centralizes one component's seed-bit loop. In the
+// distributed formulation every one of the D seed bits costs one tree
+// aggregation — 2(size−1) messages rippling up and down the BFS tree
+// over 2·Height+6 rounds — and at the scale tiers those aggregation
+// waves, not the GF(2) math, dominate the wall clock. But the
+// aggregation's outcome is a pure function of state the simulator
+// already holds in one address space: every node's two conditional
+// expectations, folded in a fixed tree order. So the hub evaluates the
+// whole seed-bit segment centrally — the last node to register runs
+// the D-bit loop for the component, replicating the distributed
+// execution exactly — while the engine's round/traffic accounting is
+// kept bit-identical by charging the aggregations' exact message and
+// word counts (Ctx.ChargeTraffic) and sleeping through the segment's
+// exact round span (SpinUntil, which the engine fast-forwards in one
+// jump when a whole domain sleeps).
+//
+// Bit-identity with the per-node loop (opts.noBulk) and the reference
+// path (opts.refEval) rests on three invariants, each pinned by the
+// differential suites:
+//
+//  1. Per-node evaluation is the same code: the hub calls the same
+//     evalPhaseBit the per-node loop calls, against a basis with the
+//     same fixed-bit history, so every (x0, x1) pair matches bitwise.
+//  2. The float fold replicates the converge: ConvergeSumLockstepTo
+//     folds, at each tree node, the node's own vector plus each child's
+//     finished accumulator in child arrival order — ascending subtree
+//     height, then ascending ID. The hub folds slot accumulators in
+//     exactly that order (kids sorted by (height, ID), parents after
+//     children), so the root total — and hence every argmin choice —
+//     is the bit-identical float.
+//  3. Rounds, messages, words, and widths are charged as measured:
+//     D aggregations of 2(size−1) messages × 4 words over
+//     D·(2·Height+6) rounds, which is exactly what the distributed
+//     waves cost (and zero messages for singleton components, whose
+//     aggregations never send).
+//
+// Coordination is scheduling-independent: slots register, the arrival
+// counter picks the last registrant as coordinator (any node — the
+// choice is unobservable), everyone else parks in SpinUntil, and the
+// engine's release-channel chain orders the coordinator's writes
+// before every sleeper's reads. No commit happens inside the segment,
+// so checkpoint cuts — taken only at iteration tops — see the same
+// committed states and the same staged stats as the distributed run.
+type phaseHub struct {
+	size    int
+	p       *Params
+	arrived atomic.Int64
+
+	// Coordinator-only state below; the registration counter orders
+	// every slot write before the coordinator's reads, and the segment
+	// wake-up orders the coordinator's writes before the slots' reads.
+	slots []hubSlot
+	order []int32 // fold order: slot indexes, ascending (SubtreeHeight, slot)
+	acc   [][2]float64
+	basis gf2.Basis
+	built bool
+	seed  gf2.Vec128 // the finished phase's seed, read by every slot on wake
+}
+
+type hubSlot struct {
+	ns   *nodeState
+	subH int32
+	kids []int32 // child slot indexes, ascending (SubtreeHeight, ID)
+}
+
+func newPhaseHub(size int, p *Params) *phaseHub {
+	return &phaseHub{
+		size:  size,
+		p:     p,
+		slots: make([]hubSlot, size),
+		acc:   make([][2]float64, size),
+	}
+}
+
+// build assembles the fold schedule from the registered slots' BFS
+// trees; runs once, on the first phase (the tree is fixed per run).
+func (h *phaseHub) build() {
+	for si := range h.slots {
+		sl := &h.slots[si]
+		t := sl.ns.tree
+		sl.subH = int32(t.SubtreeHeight)
+		if len(t.Children) > 0 {
+			sl.kids = make([]int32, len(t.Children))
+			for k, c := range t.Children {
+				sl.kids[k] = int32(sl.ns.rankOf[c])
+			}
+			// Child accumulators arrive in round order — ascending subtree
+			// height — with ascending IDs within a round. Children is
+			// ID-ascending, so a stable sort by height preserves the
+			// within-round order.
+			kids := sl.kids
+			sort.SliceStable(kids, func(a, b int) bool {
+				return h.slots[kids[a]].subH < h.slots[kids[b]].subH
+			})
+		}
+	}
+	h.order = make([]int32, h.size)
+	for i := range h.order {
+		h.order[i] = int32(i)
+	}
+	ord := h.order
+	sort.SliceStable(ord, func(a, b int) bool {
+		return h.slots[ord[a]].subH < h.slots[ord[b]].subH
+	})
+	if last := ord[h.size-1]; last != 0 {
+		panic(fmt.Sprintf("core: phase hub fold order ends at slot %d, not the root", last))
+	}
+	h.built = true
+}
+
+// runSeedBits is the central replica of the distributed seed-bit loop:
+// one Split per bit serves every slot, the tree-ordered fold replaces
+// the aggregation wave, and every slot's sheets and the shared basis
+// advance in lockstep with the chosen bits.
+func (h *phaseHub) runSeedBits() gf2.Vec128 {
+	basis := &h.basis
+	basis.Reset()
+	var seed gf2.Vec128
+	var prefix uint64
+	for j := 0; j < h.p.D; j++ {
+		sb, split := basis.Split(j)
+		for si := range h.slots {
+			ns := h.slots[si].ns
+			var x0, x1 float64
+			if ns.alive {
+				x0, x1 = ns.evalPhaseBit(j, basis, sb, split, prefix)
+			}
+			h.acc[si] = [2]float64{x0, x1}
+		}
+		if split {
+			sb.Release()
+		}
+		for _, si := range h.order {
+			a := &h.acc[si]
+			for _, ci := range h.slots[si].kids {
+				c := &h.acc[ci]
+				a[0] += c[0]
+				a[1] += c[1]
+			}
+		}
+		totals := h.acc[0] // the root is rank 0: the component's smallest ID
+		rj := totals[1] < totals[0]
+		if !basis.FixBit(j, rj) {
+			panic("core: chosen seed bit inconsistent")
+		}
+		for si := range h.slots {
+			h.slots[si].ns.foldSheets(j, rj)
+		}
+		seed = seed.WithBit(j, rj)
+		if rj && j < 64 {
+			prefix |= uint64(1) << j
+		}
+	}
+	return seed
+}
+
+// runPhaseBulk is the per-node entry to the hub for one phase: register
+// this node's slot, let the last registrant run the segment centrally,
+// and sleep through the segment's exact round span. Returns the
+// component's chosen seed.
+func (ns *nodeState) runPhaseBulk() gf2.Vec128 {
+	h := ns.hub
+	h.slots[ns.rank].ns = ns
+	start := ns.ctx.Round()
+	if h.arrived.Add(1) == int64(h.size) {
+		if !h.built {
+			h.build()
+		}
+		h.seed = h.runSeedBits()
+		// Charge exactly what the D aggregation waves would have carried:
+		// each wave sends one 4-word chunk up and one down per tree edge.
+		// Singleton components send nothing, there as here.
+		if h.size > 1 {
+			edges := int64(h.size - 1)
+			d := int64(h.p.D)
+			ns.ctx.ChargeTraffic(d*2*edges, d*8*edges, 4)
+		}
+		h.arrived.Store(0)
+	}
+	// The segment's exact span: D aggregations of 2·Height+6 rounds each
+	// (every node computes the same bound from its own tree copy). The
+	// whole domain sleeps, so the engine advances it in one jump.
+	congest.SpinUntil(ns.ctx, start+ns.p.D*(2*ns.tree.Height+6))
+	ns.op += uint64(ns.p.D)
+	return h.seed
+}

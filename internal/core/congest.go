@@ -410,6 +410,17 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		}
 	}
 
+	// One phase hub per component: the bulk seed-bit aggregation seam
+	// (bulk.go). opts.noBulk keeps the per-node converge loop instead
+	// (the differential tests pin the two paths bit-identical).
+	var hubs map[int]*phaseHub
+	if !opts.noBulk {
+		hubs = make(map[int]*phaseHub, len(comps))
+		for _, comp := range comps {
+			hubs[comp[0]] = newPhaseHub(len(comp), params[comp[0]])
+		}
+	}
+
 	m := newMetrics(opts.TrackPotentials, inst.G.N())
 	colors := make([]uint32, inst.G.N())
 	coloredFlag := make([]bool, inst.G.N())
@@ -439,6 +450,10 @@ func runColoringDomains(inst *graph.Instance, opts Options, p *Params, weights [
 		}
 		ns := &nodeState{ctx: ctx, p: params[ctx.ID()], opts: opts, m: m,
 			root: int(roots[ctx.ID()]), rank: ranks[ctx.ID()], weight: w}
+		if hubs != nil {
+			ns.hub = hubs[ns.root]
+			ns.rankOf = ranks
+		}
 		ns.init(inst, ar)
 		if restore != nil && restore[ctx.ID()] != nil {
 			rs := restore[ctx.ID()]
@@ -546,6 +561,34 @@ type nodeState struct {
 	ownedIdx   []int32    // neighbor indexes of owned conflict edges (rebuilt per phase)
 	memoStripe int        // this node's marginal-memo stripe (margStripeFor)
 
+	// Bulk-aggregation seam (bulk.go): the component's phase hub and the
+	// shared node→rank table its fold schedule is built from. nil/unset
+	// with opts.noBulk, which keeps the per-node converge loop.
+	hub    *phaseHub
+	rankOf []uint64
+
+	// Phase-scoped inputs of the seed-bit loop, stored so the hub can
+	// evaluate this node's edges centrally: this node's bit-split counts
+	// and bound coin (runPhase prologue).
+	phK1, phK0 int
+	phMyCoin   gf2.Coin
+
+	// Bit-sliced residual sheets over the owned conflict edges
+	// (gf2.FormSheet): each sheet packs this node's coin forms plus as
+	// many neighbor coins as fit its 64 lanes, is folded incrementally
+	// as seed bits are chosen, and feeds the block kernels. Rebuilt per
+	// phase (the storage is reused); sheetOK gates the batched path —
+	// when false (wide masks, B too large for a lane pair, D > 64) the
+	// loop falls back to the scalar kernels edge by edge.
+	sheets   []*gf2.FormSheet
+	sheetN   int
+	sheetOK  bool
+	edgeBlk  []edgeBlock  // per owned edge: sheet index and lane groups
+	pvBuf    [][2]float64 // per owned edge: neighbor marginal pair this bit
+	pendBuf  []int32      // owned-edge positions whose marginal missed the memo
+	pairBuf  []gf2.ProbPair
+	blockReq []gf2.BlockCoin
+
 	// msgArena holds the reusable outgoing payload buffers, 4 words (the
 	// bandwidth cap) per neighbor, two arenas alternating by round
 	// parity: a payload written in round r is read by its receiver
@@ -555,6 +598,14 @@ type nodeState struct {
 	// round r+2, by when the engine's barrier ordering guarantees the
 	// round-r+1 read has happened-before the write.
 	msgArena [2][]uint64
+}
+
+// edgeBlock locates one owned conflict edge's coins on this node's
+// residual sheets: both endpoints' form groups live on the same sheet,
+// so one gather serves the marginal and the joint walks.
+type edgeBlock struct {
+	sheet  int32
+	cu, cv gf2.BlockCoin
 }
 
 // msgBuf returns the empty reusable payload buffer for neighbor index i
@@ -997,12 +1048,27 @@ func (ns *nodeState) runPhase(iter, l int) {
 		}
 	}
 
-	// Fix the D seed bits by the method of conditional expectations.
+	// Stash the seed-bit loop's inputs and lay the owned edges' form
+	// residuals out as incrementally folded sheets (the bit-sliced block
+	// path; evalPhaseBit falls back to the scalar kernels when the
+	// layout doesn't apply).
+	ns.phK1, ns.phK0, ns.phMyCoin = k1, k0, myCoin
+	ns.buildSheets(myCoin)
+
+	if ns.hub != nil {
+		// Bulk path: the hub runs the whole seed-bit segment centrally
+		// and returns the component's seed (bulk.go).
+		seed := ns.runPhaseBulk()
+		ns.finishPhase(iter, l, bitPos, myCoin, seed)
+		return
+	}
+
+	// Per-node path: fix the D seed bits by the method of conditional
+	// expectations, one tree aggregation per bit.
 	basis := &ns.phaseBasis
 	basis.Reset()
 	var seed gf2.Vec128
 	var prefix uint64
-	memoable := ns.p.D <= 64 // the chosen prefix must fit one memo key word
 	for j := 0; j < ns.p.D; j++ {
 		var x0, x1 float64
 		if ns.alive {
@@ -1012,42 +1078,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 			// clone-and-FixBit fallback keeps the evaluation total if that
 			// ever stopped holding.
 			sb, split := basis.Split(j)
-			for _, i := range ns.ownedIdx {
-				k1v, k0v := int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i])
-				if split && memoable {
-					// The neighbor's marginal is shared by every owner
-					// evaluating an edge into it at this seed bit; fetch it
-					// from the global memo of this pure function (the memo
-					// returns the bit-identical value a local walk computes).
-					cv := nbrCoins[i]
-					mk3 := uint64(j) | uint64(ns.p.M)<<8 | uint64(ns.p.B)<<16
-					pv0, pv1, ok := margLoad(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3)
-					if !ok {
-						pv0, pv1 = sb.ProbOnePair(cv)
-						margStore(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3, pv0, pv1)
-					}
-					p1u0, p110, p1u1, p111 := sb.EdgePairGivenMarginal(myCoin, cv, pv0, pv1)
-					x0 += edgeCombine(p1u0, pv0, p110, k1, k0, k1v, k0v)
-					x1 += edgeCombine(p1u1, pv1, p111, k1, k0, k1v, k0v)
-					continue
-				}
-				if split {
-					e0, e1 := EdgeExpectationSplit(sb, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
-					x0 += e0
-					x1 += e1
-					continue
-				}
-				bs2 := basis.CloneInto(&ns.basisTmp)
-				if !bs2.FixBit(j, false) {
-					panic("core: seed bit re-fix inconsistent")
-				}
-				x0 += EdgeExpectation(bs2, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
-				bs2 = basis.CloneInto(&ns.basisTmp)
-				if !bs2.FixBit(j, true) {
-					panic("core: seed bit re-fix inconsistent")
-				}
-				x1 += EdgeExpectation(bs2, myCoin, nbrCoins[i], k1, k0, k1v, k0v)
-			}
+			x0, x1 = ns.evalPhaseBit(j, basis, sb, split, prefix)
 			if split {
 				sb.Release()
 			}
@@ -1059,6 +1090,7 @@ func (ns *nodeState) runPhase(iter, l int) {
 		if !basis.FixBit(j, rj) {
 			panic("core: chosen seed bit inconsistent")
 		}
+		ns.foldSheets(j, rj)
 		seed = seed.WithBit(j, rj)
 		if rj && j < 64 {
 			prefix |= uint64(1) << j
@@ -1066,6 +1098,187 @@ func (ns *nodeState) runPhase(iter, l int) {
 	}
 
 	ns.finishPhase(iter, l, bitPos, myCoin, seed)
+}
+
+// buildSheets lays this phase's owned-edge coin forms out on residual
+// sheets: each sheet carries this node's form group once plus as many
+// neighbor groups as fit, in owned-edge order, so a pending-marginal
+// batch is a contiguous run per sheet. Any group that cannot lie on a
+// sheet (wide masks, B > 32) clears sheetOK and the whole node falls
+// back to the scalar kernels — never a mixed layout, which keeps the
+// fallback decision identical across bits.
+func (ns *nodeState) buildSheets(myCoin gf2.Coin) {
+	ns.sheetN = 0
+	ns.edgeBlk = ns.edgeBlk[:0]
+	// The batched path mirrors the memoable scalar path, so it shares
+	// its gate: the chosen prefix must fit one memo key word.
+	ns.sheetOK = ns.p.D <= 64 && ns.alive && len(ns.ownedIdx) > 0
+	if !ns.sheetOK {
+		return
+	}
+	myForms := ns.ownForms()
+	var cur *gf2.FormSheet
+	var cu gf2.BlockCoin
+	for _, i := range ns.ownedIdx {
+		fv := ns.neighborForms(int(i), ns.nbrPsi[i])
+		if cur == nil || cur.Free() < len(fv) {
+			cur = ns.nextSheet()
+			lane, ok := cur.AddForms(myForms)
+			if !ok {
+				ns.sheetOK, ns.sheetN = false, 0
+				return
+			}
+			cu = gf2.BlockCoin{Lane: lane, B: myCoin.Bits(), T: myCoin.Threshold()}
+		}
+		lane, ok := cur.AddForms(fv)
+		if !ok {
+			ns.sheetOK, ns.sheetN = false, 0
+			return
+		}
+		cv := ns.nbrCoins[i]
+		ns.edgeBlk = append(ns.edgeBlk, edgeBlock{
+			sheet: int32(ns.sheetN - 1),
+			cu:    cu,
+			cv:    gf2.BlockCoin{Lane: lane, B: cv.Bits(), T: cv.Threshold()},
+		})
+	}
+	for k := 0; k < ns.sheetN; k++ {
+		ns.sheets[k].Seal()
+	}
+	n := len(ns.ownedIdx)
+	if cap(ns.pvBuf) < n {
+		ns.pvBuf = make([][2]float64, n)
+		ns.pendBuf = make([]int32, 0, n)
+		ns.pairBuf = make([]gf2.ProbPair, n)
+		ns.blockReq = make([]gf2.BlockCoin, 0, n)
+	}
+	ns.pvBuf = ns.pvBuf[:n]
+}
+
+// nextSheet returns the next reusable sheet, reset.
+func (ns *nodeState) nextSheet() *gf2.FormSheet {
+	if ns.sheetN == len(ns.sheets) {
+		ns.sheets = append(ns.sheets, new(gf2.FormSheet))
+	}
+	s := ns.sheets[ns.sheetN]
+	s.Reset()
+	ns.sheetN++
+	return s
+}
+
+// foldSheets folds the chosen value of seed bit j into every residual
+// sheet — the per-bit incremental update that lets bit j+1 start from
+// current residuals instead of re-reducing each form against the basis.
+//sbw:allocfree phase-step kernel: per-seed-bit sheet fold, once per node per bit
+func (ns *nodeState) foldSheets(j int, rj bool) {
+	for k := 0; k < ns.sheetN; k++ {
+		ns.sheets[k].Fix(j, rj)
+	}
+}
+
+// evalPhaseBit sums this node's owned-edge contributions to the two
+// conditional expectations of seed bit j — E[X | bit=0] and E[X | bit=1]
+// — accumulated in owned-edge order. sb/split is the caller's symbolic
+// conditioning of basis on bit j (the per-node loop splits its own
+// basis; the hub splits one shared basis per bit — the same pure
+// function of the same fixed-bit history either way).
+//
+// Three evaluation tiers, outermost first, each bit-identical to the
+// next (the differential and fuzz suites pin all of them against
+// runPhaseRef): the batched sheet path — memo probe per edge, one
+// block call per sheet for the band's pending marginal keys, then the
+// joint block kernel per edge; the scalar memoable path; and the
+// clone-and-FixBit fallback when the bit isn't free to split.
+func (ns *nodeState) evalPhaseBit(j int, basis *gf2.Basis, sb *gf2.SplitBasis, split bool, prefix uint64) (x0, x1 float64) {
+	k1, k0 := ns.phK1, ns.phK0
+	myCoin := ns.phMyCoin
+	memoable := ns.p.D <= 64 // the chosen prefix must fit one memo key word
+	if split && ns.sheetOK {
+		mk3 := uint64(j) | uint64(ns.p.M)<<8 | uint64(ns.p.B)<<16
+		// Probe the memo for every owned edge's neighbor marginal;
+		// collect the misses.
+		pend := ns.pendBuf[:0]
+		for ei, i := range ns.ownedIdx {
+			pv0, pv1, ok := margLoad(ns.memoStripe, ns.nbrPsi[i], ns.nbrCoins[i].Threshold(), prefix, mk3)
+			if ok {
+				ns.pvBuf[ei] = [2]float64{pv0, pv1}
+			} else {
+				pend = append(pend, int32(ei))
+			}
+		}
+		ns.pendBuf = pend
+		// Batch-fill the pending keys, one block call per sheet (edges
+		// of one sheet are contiguous in owned order). The computed
+		// pairs also land in pvBuf directly: memo entries are evictable,
+		// so the values must not be re-probed.
+		for s := 0; s < len(pend); {
+			e := s
+			sh := ns.edgeBlk[pend[s]].sheet
+			reqs := ns.blockReq[:0]
+			for e < len(pend) && ns.edgeBlk[pend[e]].sheet == sh {
+				reqs = append(reqs, ns.edgeBlk[pend[e]].cv)
+				e++
+			}
+			out := ns.pairBuf[:len(reqs)]
+			sb.ProbOnePairBlock(ns.sheets[sh], reqs, out)
+			for k := s; k < e; k++ {
+				ei := pend[k]
+				i := ns.ownedIdx[ei]
+				pr := out[k-s]
+				margStore(ns.memoStripe, ns.nbrPsi[i], ns.nbrCoins[i].Threshold(), prefix, mk3, pr.P0, pr.P1)
+				ns.pvBuf[ei] = [2]float64{pr.P0, pr.P1}
+			}
+			s = e
+		}
+		// Joint probabilities and the Lemma 2.2 terms, in owned order —
+		// the same accumulation order as the scalar path.
+		for ei, i := range ns.ownedIdx {
+			eb := &ns.edgeBlk[ei]
+			pv0, pv1 := ns.pvBuf[ei][0], ns.pvBuf[ei][1]
+			p1u0, p110, p1u1, p111 := sb.EdgePairBlock(ns.sheets[eb.sheet], eb.cu, eb.cv, pv0, pv1)
+			k1v, k0v := int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i])
+			x0 += edgeCombine(p1u0, pv0, p110, k1, k0, k1v, k0v)
+			x1 += edgeCombine(p1u1, pv1, p111, k1, k0, k1v, k0v)
+		}
+		return x0, x1
+	}
+	for _, i := range ns.ownedIdx {
+		k1v, k0v := int(ns.nbrK1[i]), int(ns.nbrLen[i])-int(ns.nbrK1[i])
+		if split && memoable {
+			// The neighbor's marginal is shared by every owner
+			// evaluating an edge into it at this seed bit; fetch it
+			// from the global memo of this pure function (the memo
+			// returns the bit-identical value a local walk computes).
+			cv := ns.nbrCoins[i]
+			mk3 := uint64(j) | uint64(ns.p.M)<<8 | uint64(ns.p.B)<<16
+			pv0, pv1, ok := margLoad(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3)
+			if !ok {
+				pv0, pv1 = sb.ProbOnePair(cv)
+				margStore(ns.memoStripe, ns.nbrPsi[i], cv.Threshold(), prefix, mk3, pv0, pv1)
+			}
+			p1u0, p110, p1u1, p111 := sb.EdgePairGivenMarginal(myCoin, cv, pv0, pv1)
+			x0 += edgeCombine(p1u0, pv0, p110, k1, k0, k1v, k0v)
+			x1 += edgeCombine(p1u1, pv1, p111, k1, k0, k1v, k0v)
+			continue
+		}
+		if split {
+			e0, e1 := EdgeExpectationSplit(sb, myCoin, ns.nbrCoins[i], k1, k0, k1v, k0v)
+			x0 += e0
+			x1 += e1
+			continue
+		}
+		bs2 := basis.CloneInto(&ns.basisTmp)
+		if !bs2.FixBit(j, false) {
+			panic("core: seed bit re-fix inconsistent")
+		}
+		x0 += EdgeExpectation(bs2, myCoin, ns.nbrCoins[i], k1, k0, k1v, k0v)
+		bs2 = basis.CloneInto(&ns.basisTmp)
+		if !bs2.FixBit(j, true) {
+			panic("core: seed bit re-fix inconsistent")
+		}
+		x1 += EdgeExpectation(bs2, myCoin, ns.nbrCoins[i], k1, k0, k1v, k0v)
+	}
+	return x0, x1
 }
 
 // finishPhase extends prefixes and prunes the conflict graph (1 round);

@@ -76,6 +76,12 @@ type Options struct {
 	// reference bit for bit.
 	refEval bool
 
+	// noBulk disables the per-component bulk seed-bit aggregation
+	// (phaseHub) so every seed bit runs its distributed tree aggregation
+	// for real. Test-only: the differential tests pin that the bulk path
+	// reproduces the distributed execution bit for bit.
+	noBulk bool
+
 	// crashIter/crashNode inject a fault: when crashIter > 0, node
 	// crashNode's program panics at the top of iteration crashIter−1,
 	// before committing it. Test-only: the checkpoint tests use it to
@@ -142,6 +148,14 @@ func computeParamsFor(n, delta int, c uint32, opts Options) (*Params, error) {
 	if p.B+bits.Len32(c) > 62 {
 		return nil, fmt.Errorf("core: B=%d with C=%d would overflow coin thresholds", p.B, c)
 	}
+	// The marginal-memo key packs (j, M, B) into consecutive 8-bit
+	// fields; a parameter outside its field would silently alias another
+	// configuration's entries. Unreachable with the bounds above, but
+	// guarded explicitly so a future parameter change cannot corrupt the
+	// memo by overflow.
+	if !memoKeyFieldsOK(p.M, p.B) {
+		return nil, fmt.Errorf("core: M=%d or B=%d exceeds the memo key's 8-bit fields", p.M, p.B)
+	}
 	p.D = 2 * p.M
 	fam, err := gf2.NewFamily(p.M, 2)
 	if err != nil {
@@ -156,6 +170,13 @@ func computeParamsFor(n, delta int, c uint32, opts Options) (*Params, error) {
 		p.MISK = st.NewK
 	}
 	return p, nil
+}
+
+// memoKeyFieldsOK reports whether M and B each fit the 8-bit field the
+// marginal-memo key word assigns them (seed bit j shares the word and is
+// bounded by D ≤ 64 on every memoable path).
+func memoKeyFieldsOK(m, b int) bool {
+	return m >= 0 && m <= 255 && b >= 0 && b <= 255
 }
 
 // EdgeExpectation returns E[X_e | basis] for a conflict edge, where

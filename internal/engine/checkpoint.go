@@ -251,6 +251,7 @@ func (r *runner) stageCut() {
 	r.stagedRound = r.round
 	st := r.stats
 	st.MergeWorkers(r.wstats)
+	r.foldCharged(&st)
 	r.stagedStats = st
 	r.stagedQueues = r.captureQueues()
 }

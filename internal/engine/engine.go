@@ -396,6 +396,55 @@ func (c *Ctx) checkWidth(msg Message) {
 	}
 }
 
+// ChargeTraffic accounts messages/words the node's protocol computed
+// analytically instead of delivering one by one: a node that can prove
+// what a fixed-length communication segment would carry (and what every
+// participant would conclude from it) may skip the delivery and charge
+// the traffic here, keeping the reported Stats bit-identical to the
+// message-by-message execution. maxWidth is the widest message the
+// skipped segment would have sent, in words; it must respect the
+// bandwidth cap exactly as a real Send would. Charges fold into the
+// run's Stats wherever delivered traffic does — the end-of-run merge
+// and every staged checkpoint cut — so a charging protocol stays
+// checkpoint/restore-consistent as long as it charges a segment's
+// traffic before the next commit barrier. Rounds are not charged here:
+// the node still advances through the segment's rounds (SkipUntil), so
+// round accounting needs no substitute.
+func (c *Ctx) ChargeTraffic(messages, words int64, maxWidth int) {
+	r := c.r
+	if messages < 0 || words < 0 {
+		r.fail(fmt.Errorf("%s: node %d charged negative traffic (%d messages, %d words)",
+			r.cfg.Model, c.id, messages, words))
+		panic(errAborted)
+	}
+	if messages == 0 && words == 0 {
+		return
+	}
+	if maxWidth <= 0 || maxWidth > r.cfg.MaxWords {
+		r.fail(fmt.Errorf("%s: node %d charged message width %d outside (0, %d]",
+			r.cfg.Model, c.id, maxWidth, r.cfg.MaxWords))
+		panic(errAborted)
+	}
+	r.chargedMsgs.Add(messages)
+	r.chargedWords.Add(words)
+	for {
+		old := r.chargedMaxW.Load()
+		if int64(maxWidth) <= old || r.chargedMaxW.CompareAndSwap(old, int64(maxWidth)) {
+			return
+		}
+	}
+}
+
+// foldCharged adds the analytically charged traffic into st; called
+// exactly where worker stats fold (end of run, staged cuts).
+func (r *runner) foldCharged(st *Stats) {
+	st.Messages += r.chargedMsgs.Load()
+	st.Words += r.chargedWords.Load()
+	if w := int(r.chargedMaxW.Load()); w > st.MaxMessageWords {
+		st.MaxMessageWords = w
+	}
+}
+
 // Pending reports whether any queued messages remain undelivered.
 func (c *Ctx) Pending() bool {
 	for i := range c.outbox {
@@ -617,6 +666,17 @@ type runner struct {
 	// them back into the population before anyone is released.
 	waiters      atomic.Int64
 	wokenByShard [][]*Ctx
+
+	// Analytically charged traffic (Ctx.ChargeTraffic): message/word
+	// counts for communication whose outcome a protocol computed in
+	// closed form instead of delivering message by message. Folded into
+	// stats wherever worker stats are folded (end of run, staged cuts),
+	// so charged and delivered traffic are indistinguishable in every
+	// reported Stats. Atomics: any awake node may charge, and charges
+	// are rare (once per aggregated segment), so contention is nil.
+	chargedMsgs  atomic.Int64
+	chargedWords atomic.Int64
+	chargedMaxW  atomic.Int64
 
 	// Checkpointing (nil/zero when Config.Checkpoint is unset). The
 	// staged fields hold the leader-side half of a potential cut,
@@ -1302,6 +1362,7 @@ func RunWithDomains(top Topology, cfg Config, program func(ctx *Ctx)) (*Stats, [
 			nodes.Wait()
 			r.pool.Close()
 			r.stats.MergeWorkers(r.wstats)
+			r.foldCharged(&r.stats)
 			// The domain-end cut: recorded once every node finished through
 			// CommitFinal, with the domain's true final Stats (the rounds
 			// in which the last nodes finished never finalize as live cuts).

@@ -114,6 +114,40 @@ func TestRunnerOnAllToAll(t *testing.T) {
 	}
 }
 
+// TestChargeTraffic covers the bulk-aggregation accounting hook: charged
+// messages, words, and widths must fold into the final Stats exactly as
+// if the traffic had been delivered, sum across charging nodes, and
+// reject invalid charges (negative counts, widths over the bandwidth
+// cap) as model violations.
+func TestChargeTraffic(t *testing.T) {
+	const n = 4
+	st, err := engine.Run(engine.NewAllToAll(n), engine.Config{Model: "congest"}, func(ctx *engine.Ctx) {
+		ctx.ChargeTraffic(10, 40, 4)
+		ctx.ChargeTraffic(0, 0, 99) // zero charge: width not even validated
+		ctx.Next()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 10*n || st.Words != 40*n {
+		t.Fatalf("charged traffic not folded: %+v", st)
+	}
+	if st.MaxMessageWords != 4 {
+		t.Fatalf("charged width not folded: %+v", st)
+	}
+
+	if _, err := engine.Run(engine.NewAllToAll(2), engine.Config{Model: "congest"}, func(ctx *engine.Ctx) {
+		ctx.ChargeTraffic(-1, 0, 1)
+	}); err == nil {
+		t.Fatal("negative charge accepted")
+	}
+	if _, err := engine.Run(engine.NewAllToAll(2), engine.Config{Model: "congest", MaxWords: 4}, func(ctx *engine.Ctx) {
+		ctx.ChargeTraffic(1, 5, 5)
+	}); err == nil {
+		t.Fatal("charge wider than the bandwidth cap accepted")
+	}
+}
+
 // TestRunnerModelPrefix checks that violations report in the configured
 // model's vocabulary.
 func TestRunnerModelPrefix(t *testing.T) {

@@ -39,8 +39,12 @@ type SplitBasis struct {
 	fuRows [64]splitRow
 	inner  [64]splitRow
 
-	// Single-word EdgePair scratch (see loEdgePair).
+	// Single-word EdgePair scratch (see loEdgePair). resLoU holds C1's
+	// residuals for the joint walks, so C2's residuals in resLo survive
+	// the walk; the block kernels gather sheet residuals into the same
+	// two arrays.
 	resLo   [64]loResid
+	resLoU  [64]loResid
 	fuLo    loRows
 	innerLo loRows
 }
@@ -529,6 +533,14 @@ func (sb *SplitBasis) loReduce(mask uint64, c bool) (uint64, uint8) {
 		}
 		mask &^= sb.fixedMask.Lo
 	}
+	return sb.loRowReduce(mask, rhs)
+}
+
+// loRowReduce eliminates the source basis rows from an already
+// fixed-bit-reduced residual — the row half of loReduce, shared with
+// the sheet gather path (whose planes fold the fixed bits but cannot
+// know the rows).
+func (sb *SplitBasis) loRowReduce(mask uint64, rhs uint8) (uint64, uint8) {
 	for i := range sb.rows {
 		r := &sb.rows[i]
 		if mask&r.piv.Lo != 0 {
@@ -679,16 +691,30 @@ func (sb *SplitBasis) loJointPair(fu []Form, tu uint64, fv []Form, tv uint64, pv
 
 // loJointWalk is the joint walk over C1's threshold decomposition, with
 // C2's residuals (against the conditioned basis) updated in step with
-// the accumulated prefix rows.
+// the accumulated prefix rows. C1's residuals against the conditioned
+// basis depend only on the basis — never on the prefix rows the walk
+// accumulates — so they are computed up front (which is also where the
+// sheet-gathered block path joins) and the walk proper reduces them
+// only against its own rows.
 func (sb *SplitBasis) loJointWalk(fu []Form, tu uint64, res []loResid, tv uint64, fvWalkable bool) (p1u0, p110, p1u1, p111 float64) {
-	bu, bv := len(fu), len(res)
+	resU := sb.resLoU[:len(fu)]
+	for i := range fu {
+		m, rhs := sb.loReduce(fu[i].Mask.Lo, fu[i].Const)
+		resU[i] = loResid{mask: m, rhs: rhs}
+	}
+	return sb.loJointWalkResid(resU, tu, res, tv, fvWalkable)
+}
+
+// loJointWalkResid is loJointWalk over precomputed C1 residuals.
+//sbw:allocfree phase-step kernel: the joint walk shared by the scalar and block paths
+func (sb *SplitBasis) loJointWalkResid(resU []loResid, tu uint64, res []loResid, tv uint64, fvWalkable bool) (p1u0, p110, p1u1, p111 float64) {
+	bu, bv := len(resU), len(res)
 	fuRows := &sb.fuLo
 	fuRows.reset()
 	alive := uint8(3)
 	condProb := 1.0
-	for idx := range fu {
-		m, rhs := sb.loReduce(fu[idx].Mask.Lo, fu[idx].Const)
-		m, rhs = fuRows.reduce(m, rhs)
+	for idx := range resU {
+		m, rhs := fuRows.reduce(resU[idx].mask, resU[idx].rhs)
 		tj := tu&(1<<(bu-1-idx)) != 0
 		if tj {
 			if m == 0 {
